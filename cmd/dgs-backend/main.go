@@ -1,0 +1,95 @@
+// Command dgs-backend runs the DGS backend scheduler service: it accepts
+// ground-station connections over TCP (internal/proto), collates chunk
+// receipts into per-satellite ack digests, and periodically broadcasts a
+// downlink schedule computed from the synthetic population.
+//
+// Usage:
+//
+//	dgs-backend -listen 127.0.0.1:7700 -sats 20 -stations 40
+//
+// Pair it with one or more dgs-station processes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"dgs/internal/backend"
+	"dgs/internal/core"
+	"dgs/internal/dataset"
+	"dgs/internal/linkbudget"
+	"dgs/internal/proto"
+	"dgs/internal/sgp4"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7700", "listen address")
+	sats := flag.Int("sats", 20, "constellation size for the demo schedule")
+	stations := flag.Int("stations", 40, "station count for the demo schedule")
+	seed := flag.Int64("seed", 1, "population seed")
+	every := flag.Duration("plan-every", 30*time.Second, "schedule broadcast interval (wall clock)")
+	horizon := flag.Duration("horizon", 30*time.Minute, "plan horizon (simulated)")
+	flag.Parse()
+
+	srv := backend.NewServer(nil)
+	srv.Logf = log.Printf
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("dgs-backend: %v", err)
+	}
+	log.Printf("dgs-backend: listening on %s", addr)
+
+	// Build the scheduler over the synthetic population.
+	els := dataset.Satellites(dataset.SatelliteOptions{N: *sats, Seed: *seed})
+	snaps := make([]core.SatSnapshot, 0, len(els))
+	for _, el := range els {
+		p, err := sgp4.New(el)
+		if err != nil {
+			log.Fatalf("dgs-backend: %v", err)
+		}
+		snaps = append(snaps, core.SatSnapshot{Prop: p, PendingBits: 8e10, OldestAge: time.Hour})
+	}
+	sched := &core.Scheduler{
+		Radio:    linkbudget.DefaultRadio(),
+		Stations: dataset.Stations(dataset.StationOptions{N: *stations, Seed: *seed}),
+	}
+
+	go func() {
+		for {
+			now := time.Now().UTC()
+			plan := sched.PlanEpoch(snaps, now, *horizon, time.Minute, 100*8e9/86400)
+			wire := &proto.Schedule{
+				Version: uint32(plan.Version),
+				Issued:  plan.Issued,
+				SlotDur: plan.SlotDur,
+			}
+			for _, slot := range plan.Slots {
+				ws := proto.Slot{}
+				for _, a := range slot.Assignments {
+					ws.Assignments = append(ws.Assignments, proto.Assignment{
+						Sat: uint32(a.Sat), Station: uint32(a.Station), RateBps: uint64(a.PlannedRateBps),
+					})
+				}
+				wire.Slots = append(wire.Slots, ws)
+			}
+			srv.Broadcast(wire)
+			n := 0
+			for _, s := range wire.Slots {
+				n += len(s.Assignments)
+			}
+			log.Printf("dgs-backend: broadcast plan v%d (%d slots, %d assignments)", wire.Version, len(wire.Slots), n)
+			time.Sleep(*every)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println()
+	log.Print("dgs-backend: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,123 @@
+// Command dgs-passes predicts satellite passes over a ground station — the
+// orbit-calculation building block of the DGS scheduler (§3.1), exposed as
+// a standalone tool.
+//
+// Usage:
+//
+//	dgs-passes -tle iss.txt -lat 47.37 -lon 8.54 -hours 24
+//	dgs-passes -builtin iss -lat 78.2 -lon 15.4 -hours 12 -min-el 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/dataset"
+	"dgs/internal/frames"
+	"dgs/internal/linkbudget"
+	"dgs/internal/orbit"
+	"dgs/internal/sgp4"
+	"dgs/internal/tle"
+)
+
+func main() {
+	tleFile := flag.String("tle", "", "path to a TLE file (2 or 3 lines)")
+	builtin := flag.String("builtin", "", "use an embedded TLE: iss, noaa18")
+	lat := flag.Float64("lat", 47.37, "station latitude, degrees")
+	lon := flag.Float64("lon", 8.54, "station longitude, degrees")
+	alt := flag.Float64("alt", 0.4, "station altitude, km")
+	hours := flag.Float64("hours", 24, "search window, hours")
+	minEl := flag.Float64("min-el", 0, "elevation mask, degrees")
+	from := flag.String("from", "", "start time RFC3339 (default: TLE epoch)")
+	rates := flag.Bool("rates", false, "estimate DVB-S2 rate for a 1 m DGS dish at culmination")
+	flag.Parse()
+
+	var text string
+	switch {
+	case *tleFile != "":
+		b, err := os.ReadFile(*tleFile)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(b)
+	case *builtin != "":
+		all := dataset.RealTLEs()
+		switch strings.ToLower(*builtin) {
+		case "iss":
+			text = all[1]
+		case "noaa18":
+			text = all[2]
+		default:
+			fatal(fmt.Errorf("unknown builtin %q (try iss, noaa18)", *builtin))
+		}
+	default:
+		fatal(fmt.Errorf("need -tle FILE or -builtin NAME"))
+	}
+
+	el, err := tle.Parse(text)
+	if err != nil {
+		fatal(err)
+	}
+	prop, err := sgp4.New(el)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := el.Epoch
+	if *from != "" {
+		start, err = time.Parse(time.RFC3339, *from)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	obs := frames.NewGeodeticDeg(*lat, *lon, *alt)
+	name := el.Name
+	if name == "" {
+		name = fmt.Sprintf("NORAD %d", el.NoradID)
+	}
+	fmt.Printf("%s over (%.3f°, %.3f°), %v from %s, mask %.0f°\n",
+		name, *lat, *lon, time.Duration(*hours*float64(time.Hour)).Round(time.Minute),
+		start.Format(time.RFC3339), *minEl)
+	fmt.Printf("orbit: %.1f min period, ~%.0f km altitude, %.2f° inclination\n\n",
+		el.PeriodMinutes(), (el.ApogeeKm()+el.PerigeeKm())/2, el.InclinationDeg)
+
+	passes, err := orbit.Passes(prop, obs, start, time.Duration(*hours*float64(time.Hour)), orbit.PassOptions{
+		MinElevationRad: *minEl * astro.Deg2Rad,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if len(passes) == 0 {
+		fmt.Println("no passes in window")
+		return
+	}
+	for i, p := range passes {
+		fmt.Printf("%2d  rise %s  culm %s  set %s  dur %5.1f min  max el %5.1f°",
+			i+1,
+			p.Rise.Format("15:04:05"), p.Culmination.Format("15:04:05"), p.Set.Format("15:04:05"),
+			p.Duration().Minutes(), p.MaxElevationDeg())
+		if *rates {
+			o, err := orbit.Observe(prop, obs, p.Culmination)
+			if err == nil {
+				geo := linkbudget.Geometry{
+					RangeKm:       o.Look.RangeKm,
+					ElevationRad:  o.Look.ElevationRad,
+					StationLatRad: obs.LatRad,
+				}
+				r := linkbudget.RateBps(linkbudget.DefaultRadio(), linkbudget.DGSTerminal(), geo, linkbudget.Conditions{})
+				fmt.Printf("  rate %6.1f Mbps", r/1e6)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dgs-passes:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command dgs-sim runs one DGS simulation scenario and prints its result
+// distributions. It is the general-purpose entry point; dgs-figures wraps
+// it for the paper's exact figures.
+//
+// Usage:
+//
+//	dgs-sim -system dgs -days 2 -sats 259 -stations 173
+//	dgs-sim -system baseline -days 1 -clear-sky
+//	dgs-sim -system dgs25 -value throughput -matcher optimal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dgs"
+	"dgs/internal/sim"
+)
+
+func main() {
+	system := flag.String("system", "dgs", "system to simulate: baseline, dgs, dgs25")
+	days := flag.Int("days", 1, "simulated days")
+	sats := flag.Int("sats", 259, "constellation size")
+	stations := flag.Int("stations", 173, "DGS network size")
+	seed := flag.Int64("seed", 1, "population and weather seed")
+	value := flag.String("value", "latency", "value function: latency, throughput")
+	matcher := flag.String("matcher", "stable", "matching algorithm: stable, optimal, greedy")
+	forecastErr := flag.Float64("forecast-err", 0.3, "saturated forecast error fraction [0,1]")
+	clearSky := flag.Bool("clear-sky", false, "disable weather entirely")
+	txFraction := flag.Float64("tx-fraction", 0.1, "fraction of TX-capable DGS stations")
+	beams := flag.Int("beams", 0, "per-station simultaneous links (beamforming extension)")
+	genGB := flag.Float64("gen-gb", 100, "per-satellite capture volume, GB/day")
+	step := flag.Duration("step", 0, "matching slot length (default 1m)")
+	quiet := flag.Bool("q", false, "suppress per-day progress")
+	flag.Parse()
+
+	var sys dgs.System
+	switch *system {
+	case "baseline":
+		sys = dgs.SystemBaseline
+	case "dgs":
+		sys = dgs.SystemDGS
+	case "dgs25":
+		sys = dgs.SystemDGS25
+	default:
+		fmt.Fprintf(os.Stderr, "dgs-sim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	opt := dgs.Options{
+		Days:        *days,
+		Satellites:  *sats,
+		Stations:    *stations,
+		Seed:        *seed,
+		Value:       dgs.ValueName(*value),
+		Matcher:     dgs.MatcherName(*matcher),
+		ForecastErr: *forecastErr,
+		ClearSky:    *clearSky,
+		TxFraction:  *txFraction,
+		Beams:       *beams,
+		GenGBPerDay: *genGB,
+		Step:        *step,
+	}
+	if !*quiet {
+		opt.Progress = func(day int, r *sim.Result) {
+			fmt.Fprintf(os.Stderr, "day %d: delivered %.0f GB, backlog median %.2f GB, latency median %.1f min\n",
+				day, r.DeliveredGB, r.BacklogGB.Median(), r.LatencyMin.Median())
+		}
+	}
+
+	startWall := time.Now()
+	res, err := dgs.Run(sys, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgs-sim:", err)
+		os.Exit(1)
+	}
+
+	lat := res.LatencyMin.Summarize()
+	back := res.BacklogGB.Summarize()
+	fmt.Printf("system        %v\n", sys)
+	fmt.Printf("simulated     %d day(s), %d satellites, wall %v\n", *days, *sats, time.Since(startWall).Round(time.Second))
+	fmt.Printf("generated     %.1f GB\n", res.GeneratedGB)
+	fmt.Printf("delivered     %.1f GB (%.1f%%)\n", res.DeliveredGB, 100*res.DeliveredGB/res.GeneratedGB)
+	fmt.Printf("lost/retx     %.1f GB\n", res.LostGB)
+	fmt.Printf("latency       median %.1f min, p90 %.1f, p99 %.1f (n=%d)\n", lat.Median, lat.P90, lat.P99, lat.N)
+	fmt.Printf("backlog       median %.2f GB, p90 %.2f, p99 %.2f (per sat-day)\n", back.Median, back.P90, back.P99)
+	fmt.Printf("slots         matched %d, mispredicted %d, stale %d\n", res.SlotsMatched, res.SlotsMispredicted, res.SlotsStale)
+	fmt.Printf("control       tx contacts %d, plan uploads %d\n", res.TxContacts, res.PlanUploads)
+}

@@ -1,0 +1,128 @@
+// Command dgs-station runs a ground-station agent against a dgs-backend:
+// it connects over TCP, receives schedule broadcasts, simulates chunk
+// receptions for its assigned slots, reports them to the backend, and — when
+// transmit-capable — periodically fetches the collated ack digest it would
+// upload to the satellite on the next pass.
+//
+// Usage:
+//
+//	dgs-station -backend 127.0.0.1:7700 -id 3
+//	dgs-station -backend 127.0.0.1:7700 -id 0 -tx
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"time"
+
+	"dgs/internal/backend"
+	"dgs/internal/proto"
+)
+
+func main() {
+	addr := flag.String("backend", "127.0.0.1:7700", "backend address")
+	id := flag.Uint("id", 0, "station id")
+	name := flag.String("name", "", "station name (default dgs-<id>)")
+	tx := flag.Bool("tx", false, "transmit-capable (fetches ack digests)")
+	flag.Parse()
+
+	if *name == "" {
+		*name = "dgs-" + itoa(uint32(*id))
+	}
+
+	var latest atomic.Pointer[proto.Schedule]
+	agent := &backend.StationAgent{
+		ID:        uint32(*id),
+		Name:      *name,
+		TxCapable: *tx,
+		OnSchedule: func(s *proto.Schedule) {
+			latest.Store(s)
+			log.Printf("%s: received schedule v%d (%d slots)", *name, s.Version, len(s.Slots))
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err := agent.Dial(ctx, *addr)
+	cancel()
+	if err != nil {
+		log.Fatalf("dgs-station: %v", err)
+	}
+	log.Printf("%s: connected to %s (tx=%v)", *name, *addr, *tx)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+
+	rng := rand.New(rand.NewSource(int64(*id)))
+	nextChunk := uint64(1)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+
+	for {
+		select {
+		case <-stop:
+			log.Printf("%s: shutting down", *name)
+			agent.Close()
+			return
+		case <-tick.C:
+			sched := latest.Load()
+			if sched == nil {
+				continue
+			}
+			// Find this station's assignment in the current slot (if any)
+			// and pretend the corresponding chunks arrived.
+			idx := int(time.Since(sched.Issued) / sched.SlotDur)
+			if idx < 0 || idx >= len(sched.Slots) {
+				continue
+			}
+			for _, a := range sched.Slots[idx].Assignments {
+				if a.Station != uint32(*id) {
+					continue
+				}
+				n := 1 + rng.Intn(3)
+				report := &proto.ChunkReport{StationID: uint32(*id), Sat: a.Sat}
+				for k := 0; k < n; k++ {
+					report.Chunks = append(report.Chunks, proto.ChunkInfo{
+						ID:       nextChunk,
+						Bits:     a.RateBps * 5, // five seconds at the planned rate
+						Captured: time.Now().Add(-time.Duration(rng.Intn(3600)) * time.Second).UTC(),
+						Received: time.Now().UTC(),
+					})
+					nextChunk++
+				}
+				if err := agent.Report(report); err != nil {
+					log.Printf("%s: report: %v", *name, err)
+					continue
+				}
+				log.Printf("%s: reported %d chunks from satellite %d", *name, n, a.Sat)
+				if *tx {
+					d, err := agent.FetchDigest(a.Sat)
+					if err != nil {
+						log.Printf("%s: digest: %v", *name, err)
+						continue
+					}
+					if len(d.ChunkIDs) > 0 {
+						log.Printf("%s: would uplink %d acks to satellite %d", *name, len(d.ChunkIDs), a.Sat)
+					}
+				}
+			}
+		}
+	}
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

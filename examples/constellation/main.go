@@ -1,0 +1,54 @@
+// Constellation: run the paper's core comparison at laptop scale — a
+// distributed hybrid DGS network versus the centralized 5-station baseline
+// for a 40-satellite Earth-observation constellation — and print the
+// backlog and latency summaries of Fig. 3a/3b.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dgs"
+	"dgs/internal/metrics"
+)
+
+func main() {
+	opt := dgs.Options{
+		Days:        1,
+		Satellites:  40,
+		Stations:    80,
+		GenGBPerDay: 40, // scale capture volume with the population
+		Seed:        7,
+	}
+
+	fmt.Println("running the three systems of Fig. 3 (scaled to 40 satellites)…")
+	var rows []struct {
+		Label string
+		S     metrics.Summary
+	}
+	var backlogRows []struct {
+		Label string
+		S     metrics.Summary
+	}
+	for _, sys := range []dgs.System{dgs.SystemBaseline, dgs.SystemDGS, dgs.SystemDGS25} {
+		res, err := dgs.Run(sys, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, struct {
+			Label string
+			S     metrics.Summary
+		}{sys.String(), res.LatencyMin.Summarize()})
+		backlogRows = append(backlogRows, struct {
+			Label string
+			S     metrics.Summary
+		}{sys.String(), res.BacklogGB.Summarize()})
+		fmt.Printf("  %v: delivered %.0f of %.0f GB\n", sys, res.DeliveredGB, res.GeneratedGB)
+	}
+
+	fmt.Println("\ncapture→delivery latency (minutes):")
+	fmt.Print(metrics.Table(rows))
+	fmt.Println("\nper-satellite daily backlog (GB):")
+	fmt.Print(metrics.Table(backlogRows))
+	fmt.Println("\n(the paper's full-scale shape: DGS ≈ 5x better than the baseline on both)")
+}

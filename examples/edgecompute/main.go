@@ -1,0 +1,60 @@
+// Edgecompute: the §3.3 extension — edge compute on the ground station.
+// A DGS node receives a pass worth of imagery, runs an edge pipeline that
+// shrinks bulk tiles and fast-tracks a flood-alert product, and uploads
+// over a constrained home-broadband backhaul. Compare cloud-arrival times
+// against naive raw streaming (the VERGE [26] model).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dgs/internal/edge"
+)
+
+func main() {
+	start := time.Date(2020, 6, 1, 12, 0, 0, 0, time.UTC)
+	const uplink = 50e6 // 50 Mbps home broadband
+
+	// A 7-minute pass at ~150 Mbps delivers ~63 Gb of raw tiles.
+	type rx struct {
+		id       uint64
+		bits     float64
+		priority float64
+		label    string
+	}
+	pass := []rx{
+		{1, 20e9, 0, "bulk imagery A"},
+		{2, 20e9, 0, "bulk imagery B"},
+		{3, 2e9, 5, "flood-alert tiles"}, // latency-sensitive
+		{4, 20e9, 0, "bulk imagery C"},
+	}
+
+	run := func(name string, proc edge.Processor) {
+		b, err := edge.NewBackhaul(uplink, proc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range pass {
+			b.Enqueue(7, r.id, r.bits, r.priority, start)
+		}
+		fmt.Printf("%s (reduction %.0f%%, %v processing):\n", name, proc.Reduction*100, proc.Latency)
+		for _, d := range b.Drain(start.Add(24 * time.Hour)) {
+			var label string
+			for _, r := range pass {
+				if r.id == d.Product.ChunkID {
+					label = r.label
+				}
+			}
+			fmt.Printf("  %-18s in cloud after %6.1f min\n", label, d.CloudAt.Sub(start).Minutes())
+		}
+		fmt.Println()
+	}
+
+	run("raw streaming", edge.Processor{Reduction: 1})
+	run("edge pipeline", edge.Processor{Reduction: 0.3, Latency: 30 * time.Second})
+
+	fmt.Println("edge compute delivers the flood alert in minutes and cuts total backhaul 3x —")
+	fmt.Println("without discarding anything in orbit (contrast with satellite pre-filtering [8])")
+}

@@ -1,0 +1,66 @@
+// Quickstart: propagate a real satellite with the SGP4 port, predict its
+// passes over a ground station, and estimate the DVB-S2 downlink rate a
+// low-complexity DGS node would achieve at culmination — the three building
+// blocks of the DGS scheduler in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dgs/internal/dataset"
+	"dgs/internal/frames"
+	"dgs/internal/linkbudget"
+	"dgs/internal/orbit"
+	"dgs/internal/sgp4"
+	"dgs/internal/tle"
+)
+
+func main() {
+	// 1. Parse a TLE (the embedded ISS fixture) and initialize SGP4.
+	el, err := tle.Parse(dataset.RealTLEs()[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	prop, err := sgp4.New(el)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.1f min period, ~%.0f km altitude\n",
+		el.Name, el.PeriodMinutes(), (el.ApogeeKm()+el.PerigeeKm())/2)
+
+	// 2. Where is it right now (relative to its epoch)?
+	sub, err := prop.SubPoint(el.Epoch.Add(45 * time.Minute))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sub-satellite point 45 min after epoch: %s\n\n", sub)
+
+	// 3. Predict a day of passes over a mid-latitude DGS node.
+	zurich := frames.NewGeodeticDeg(47.37, 8.54, 0.4)
+	passes, err := orbit.Passes(prop, zurich, el.Epoch, 24*time.Hour, orbit.PassOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("passes over Zurich in 24 h: %d\n", len(passes))
+
+	// 4. For each pass, estimate what a 1 m DGS dish could receive.
+	radio := linkbudget.DefaultRadio()
+	node := linkbudget.DGSTerminal()
+	for i, p := range passes {
+		o, err := orbit.Observe(prop, zurich, p.Culmination)
+		if err != nil {
+			log.Fatal(err)
+		}
+		geo := linkbudget.Geometry{
+			RangeKm:       o.Look.RangeKm,
+			ElevationRad:  o.Look.ElevationRad,
+			StationLatRad: zurich.LatRad,
+		}
+		clear := linkbudget.RateBps(radio, node, geo, linkbudget.Conditions{})
+		rain := linkbudget.RateBps(radio, node, geo, linkbudget.Conditions{RainMmH: 10})
+		fmt.Printf("  pass %d: %5.1f min, max el %4.1f°, rate %6.1f Mbps clear / %6.1f Mbps in 10 mm/h rain\n",
+			i+1, p.Duration().Minutes(), p.MaxElevationDeg(), clear/1e6, rain/1e6)
+	}
+}

@@ -1,0 +1,60 @@
+// Valuefunction: demonstrate the paper's Φ adaptability (§3.1, Fig. 3c) —
+// the same network scheduled for latency, for throughput, and with a custom
+// geographic SLA boost that prioritizes stations in a disaster region.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dgs"
+	"dgs/internal/astro"
+	"dgs/internal/core"
+	"dgs/internal/sim"
+)
+
+func main() {
+	base := dgs.Options{
+		Days:        1,
+		Satellites:  30,
+		Stations:    60,
+		GenGBPerDay: 30,
+		Seed:        3,
+	}
+
+	// 1 & 2: the built-in Φ variants by name.
+	for _, v := range []dgs.ValueName{dgs.ValueLatency, dgs.ValueThroughput} {
+		opt := base
+		opt.Value = v
+		res, err := dgs.Run(dgs.SystemDGS, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.LatencyMin.Summarize()
+		fmt.Printf("Φ=%-11s latency median %6.1f min, p90 %6.1f, p99 %6.1f | delivered %.0f GB\n",
+			v, s.Median, s.P90, s.P99, res.DeliveredGB)
+	}
+
+	// 3: a custom Φ via the simulator config — boost links through European
+	// stations 5x, as an operator with an SLA for flood imagery over Europe
+	// would (the paper's "prioritize data based on geography").
+	cfg, err := dgs.Config(dgs.SystemDGS, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Value = core.GeographicValue{
+		Inner:     core.LatencyValue{},
+		LatMinRad: 36 * astro.Deg2Rad, LatMaxRad: 62 * astro.Deg2Rad,
+		LonMinRad: -10 * astro.Deg2Rad, LonMaxRad: 30 * astro.Deg2Rad,
+		Boost: 5,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.LatencyMin.Summarize()
+	fmt.Printf("Φ=geo(latency) latency median %6.1f min, p90 %6.1f, p99 %6.1f | delivered %.0f GB\n",
+		s.Median, s.P90, s.P99, res.DeliveredGB)
+
+	fmt.Println("\nvalue functions reshape the schedule without touching any other code")
+}

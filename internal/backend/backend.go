@@ -1,0 +1,444 @@
+// Package backend implements the DGS backend scheduler service (paper
+// Fig. 1): the Internet-side component that collects chunk receipts from
+// receive-only ground stations, collates them into per-satellite cumulative
+// acks for transmit-capable stations to upload, and distributes downlink
+// schedules to every station.
+//
+// The package has two halves: Collator, the pure state machine (also usable
+// in-process), and Server/StationAgent, the TCP endpoints speaking
+// internal/proto.
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dgs/internal/proto"
+)
+
+// Collator is the backend's ack-collation state: which chunks of which
+// satellite have reached the ground, and which of those each satellite has
+// been told about. It is safe for concurrent use.
+type Collator struct {
+	mu sync.Mutex
+	// received[sat][chunk] = ground reception time.
+	received map[uint32]map[uint64]time.Time
+	// acked[sat][chunk] marks chunks already uploaded in an ack digest.
+	acked map[uint32]map[uint64]bool
+	bits  map[uint32]uint64
+}
+
+// NewCollator returns an empty collator.
+func NewCollator() *Collator {
+	return &Collator{
+		received: make(map[uint32]map[uint64]time.Time),
+		acked:    make(map[uint32]map[uint64]bool),
+		bits:     make(map[uint32]uint64),
+	}
+}
+
+// Report records chunk receipts from a station.
+func (c *Collator) Report(r *proto.ChunkReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.received[r.Sat]
+	if m == nil {
+		m = make(map[uint64]time.Time)
+		c.received[r.Sat] = m
+	}
+	for _, ch := range r.Chunks {
+		if _, dup := m[ch.ID]; !dup {
+			m[ch.ID] = ch.Received
+			c.bits[r.Sat] += ch.Bits
+		}
+	}
+}
+
+// Digest returns the cumulative ack set for a satellite: every chunk
+// received at or before cutoff that has not yet been digested. Chunk IDs
+// are sorted for determinism. Calling Digest marks the chunks as acked.
+func (c *Collator) Digest(sat uint32, cutoff time.Time) *proto.AckDigest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.acked[sat]
+	if a == nil {
+		a = make(map[uint64]bool)
+		c.acked[sat] = a
+	}
+	d := &proto.AckDigest{Sat: sat}
+	for id, at := range c.received[sat] {
+		if !a[id] && !at.After(cutoff) {
+			d.ChunkIDs = append(d.ChunkIDs, id)
+			a[id] = true
+		}
+	}
+	sort.Slice(d.ChunkIDs, func(i, j int) bool { return d.ChunkIDs[i] < d.ChunkIDs[j] })
+	return d
+}
+
+// ReceivedBits returns the total bits on the ground for a satellite.
+func (c *Collator) ReceivedBits(sat uint32) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bits[sat]
+}
+
+// ReceivedChunks returns how many distinct chunks have landed for sat.
+func (c *Collator) ReceivedChunks(sat uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.received[sat])
+}
+
+// Server is the backend's TCP listener. Stations connect, introduce
+// themselves with Hello, then stream ChunkReports; transmit-capable
+// stations receive AckDigests on request (a report with zero chunks acts
+// as a digest poll in this minimal RPC). Schedules are broadcast to every
+// connected station.
+type Server struct {
+	Collator *Collator
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]*connState
+	schedule *proto.Schedule
+	closed   bool
+}
+
+type connState struct {
+	hello proto.Hello
+	wmu   sync.Mutex // serializes frames on the connection
+}
+
+// NewServer creates a server around a collator (a fresh one when nil).
+func NewServer(c *Collator) *Server {
+	if c == nil {
+		c = NewCollator()
+	}
+	return &Server{Collator: c, conns: make(map[net.Conn]*connState)}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Listen starts accepting stations on addr ("127.0.0.1:0" for tests) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	st := &connState{}
+
+	msg, err := proto.Read(conn)
+	if err != nil {
+		s.logf("backend: handshake read: %v", err)
+		return
+	}
+	hello, ok := msg.(*proto.Hello)
+	if !ok {
+		st.wmu.Lock()
+		_ = proto.Write(conn, &proto.Error{Msg: "expected hello"})
+		st.wmu.Unlock()
+		return
+	}
+	st.hello = *hello
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = st
+	sched := s.schedule
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	st.wmu.Lock()
+	err = proto.Write(conn, &proto.OK{})
+	if err == nil && sched != nil {
+		// Late joiners immediately get the current schedule.
+		err = proto.Write(conn, sched)
+	}
+	st.wmu.Unlock()
+	if err != nil {
+		return
+	}
+
+	for {
+		msg, err := proto.Read(conn)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *proto.ChunkReport:
+			if len(m.Chunks) > 0 {
+				s.Collator.Report(m)
+				st.wmu.Lock()
+				err = proto.Write(conn, &proto.OK{})
+				st.wmu.Unlock()
+			} else {
+				// Zero-chunk report = digest poll (TX stations fetching the
+				// cumulative acks they should upload next pass).
+				if !st.hello.TxCapable {
+					st.wmu.Lock()
+					err = proto.Write(conn, &proto.Error{Msg: "receive-only stations cannot fetch digests"})
+					st.wmu.Unlock()
+					if err != nil {
+						return
+					}
+					continue
+				}
+				d := s.Collator.Digest(m.Sat, time.Now().Add(time.Hour))
+				st.wmu.Lock()
+				err = proto.Write(conn, d)
+				st.wmu.Unlock()
+			}
+			if err != nil {
+				return
+			}
+		default:
+			st.wmu.Lock()
+			werr := proto.Write(conn, &proto.Error{Msg: fmt.Sprintf("unexpected message type %d", msg.Type())})
+			st.wmu.Unlock()
+			if werr != nil {
+				return
+			}
+		}
+	}
+}
+
+// Broadcast distributes a schedule to all connected stations and retains it
+// for late joiners.
+func (s *Server) Broadcast(sched *proto.Schedule) {
+	s.mu.Lock()
+	s.schedule = sched
+	conns := make(map[net.Conn]*connState, len(s.conns))
+	for c, st := range s.conns {
+		conns[c] = st
+	}
+	s.mu.Unlock()
+	for conn, st := range conns {
+		st.wmu.Lock()
+		if err := proto.Write(conn, sched); err != nil {
+			s.logf("backend: broadcast to %s: %v", st.hello.Name, err)
+		}
+		st.wmu.Unlock()
+	}
+}
+
+// Close stops the listener and closes every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// StationAgent is the station-side client: it reports received chunks,
+// receives schedule broadcasts, and (for TX stations) fetches ack digests.
+type StationAgent struct {
+	// ID and Name identify the station.
+	ID   uint32
+	Name string
+	// TxCapable enables digest fetching.
+	TxCapable bool
+	// OnSchedule, when set, is invoked for every schedule broadcast.
+	OnSchedule func(*proto.Schedule)
+
+	conn net.Conn
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	pending []chan proto.Message
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects and performs the handshake.
+func (a *StationAgent) Dial(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	a.conn = conn
+	a.done = make(chan struct{})
+	if err := proto.Write(conn, &proto.Hello{StationID: a.ID, TxCapable: a.TxCapable, Name: a.Name}); err != nil {
+		conn.Close()
+		return err
+	}
+	go a.readLoop()
+	resp, err := a.await()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if _, ok := resp.(*proto.OK); !ok {
+		conn.Close()
+		return fmt.Errorf("backend rejected hello: %v", resp)
+	}
+	return nil
+}
+
+// readLoop dispatches schedule broadcasts to OnSchedule and everything else
+// to the oldest waiting request.
+func (a *StationAgent) readLoop() {
+	defer close(a.done)
+	for {
+		msg, err := proto.Read(a.conn)
+		if err != nil {
+			a.mu.Lock()
+			a.readErr = err
+			for _, ch := range a.pending {
+				close(ch)
+			}
+			a.pending = nil
+			a.mu.Unlock()
+			return
+		}
+		if sched, ok := msg.(*proto.Schedule); ok {
+			if a.OnSchedule != nil {
+				a.OnSchedule(sched)
+			}
+			continue
+		}
+		a.mu.Lock()
+		if len(a.pending) > 0 {
+			ch := a.pending[0]
+			a.pending = a.pending[1:]
+			a.mu.Unlock()
+			ch <- msg
+			continue
+		}
+		a.mu.Unlock()
+		log.Printf("station %d: unsolicited message type %d", a.ID, msg.Type())
+	}
+}
+
+// await registers a response slot and blocks for the next non-broadcast
+// frame.
+func (a *StationAgent) await() (proto.Message, error) {
+	ch := make(chan proto.Message, 1)
+	a.mu.Lock()
+	if a.readErr != nil {
+		err := a.readErr
+		a.mu.Unlock()
+		return nil, err
+	}
+	a.pending = append(a.pending, ch)
+	a.mu.Unlock()
+	msg, ok := <-ch
+	if !ok {
+		a.mu.Lock()
+		err := a.readErr
+		a.mu.Unlock()
+		if err == nil {
+			err = errors.New("backend: connection closed")
+		}
+		return nil, err
+	}
+	return msg, nil
+}
+
+func (a *StationAgent) roundTrip(m proto.Message) (proto.Message, error) {
+	a.wmu.Lock()
+	err := proto.Write(a.conn, m)
+	a.wmu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return a.await()
+}
+
+// Report sends chunk receipts and waits for the ack.
+func (a *StationAgent) Report(r *proto.ChunkReport) error {
+	if len(r.Chunks) == 0 {
+		return errors.New("backend: empty report (use FetchDigest)")
+	}
+	resp, err := a.roundTrip(r)
+	if err != nil {
+		return err
+	}
+	switch m := resp.(type) {
+	case *proto.OK:
+		return nil
+	case *proto.Error:
+		return m
+	default:
+		return fmt.Errorf("backend: unexpected response type %d", resp.Type())
+	}
+}
+
+// FetchDigest retrieves (and consumes) the cumulative ack digest for a
+// satellite. Only TX-capable stations may call it.
+func (a *StationAgent) FetchDigest(sat uint32) (*proto.AckDigest, error) {
+	resp, err := a.roundTrip(&proto.ChunkReport{StationID: a.ID, Sat: sat})
+	if err != nil {
+		return nil, err
+	}
+	switch m := resp.(type) {
+	case *proto.AckDigest:
+		return m, nil
+	case *proto.Error:
+		return nil, m
+	default:
+		return nil, fmt.Errorf("backend: unexpected response type %d", resp.Type())
+	}
+}
+
+// Close tears down the connection.
+func (a *StationAgent) Close() error {
+	if a.conn == nil {
+		return nil
+	}
+	err := a.conn.Close()
+	<-a.done
+	return err
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/dataset"
+	"dgs/internal/linkbudget"
+	"dgs/internal/match"
+	"dgs/internal/sgp4"
+	"dgs/internal/station"
+	"dgs/internal/weather"
+)
+
+var epoch = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// smallWorld builds a 12-satellite, 20-station scheduler for tests.
+func smallWorld(t testing.TB, nSat, nGs int) (*Scheduler, []SatSnapshot) {
+	t.Helper()
+	els := dataset.Satellites(dataset.SatelliteOptions{N: nSat, Seed: 4, Epoch: epoch})
+	sats := make([]SatSnapshot, 0, nSat)
+	for _, el := range els {
+		p, err := sgp4.New(el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sats = append(sats, SatSnapshot{
+			Prop:        p,
+			PendingBits: 8e9,
+			OldestAge:   30 * time.Minute,
+		})
+	}
+	net := dataset.Stations(dataset.StationOptions{N: nGs, Seed: 4})
+	sched := &Scheduler{
+		Radio:    linkbudget.DefaultRadio(),
+		Stations: net,
+	}
+	return sched, sats
+}
+
+func TestVisibilityBasics(t *testing.T) {
+	sched, sats := smallWorld(t, 30, 60)
+	edges := sched.Visibility(sats, epoch.Add(time.Hour), 0)
+	if len(edges) == 0 {
+		t.Fatal("no visible edges with 30 sats and 60 stations")
+	}
+	for _, e := range edges {
+		if e.Geometry.ElevationRad <= 0 {
+			t.Fatalf("edge below horizon: %.2f rad", e.Geometry.ElevationRad)
+		}
+		if e.RateBps <= 0 {
+			t.Fatal("edge with zero rate")
+		}
+		if e.Geometry.RangeKm > 3500 || e.Geometry.RangeKm < 300 {
+			t.Fatalf("edge range %.0f km implausible", e.Geometry.RangeKm)
+		}
+	}
+}
+
+func TestVisibilityHonorsConstraints(t *testing.T) {
+	sched, sats := smallWorld(t, 20, 40)
+	at := epoch.Add(30 * time.Minute)
+	before := sched.Visibility(sats, at, 0)
+	if len(before) == 0 {
+		t.Skip("no visibility at chosen instant")
+	}
+	// Forbid everything on every station: no edges must survive.
+	for _, gs := range sched.Stations {
+		gs.Constraints = station.NewBitmap(len(sats))
+	}
+	if after := sched.Visibility(sats, at, 0); len(after) != 0 {
+		t.Fatalf("constraint bitmap ignored: %d edges", len(after))
+	}
+	// Allow exactly satellite 0 everywhere.
+	for _, gs := range sched.Stations {
+		gs.Constraints.Set(0, true)
+	}
+	for _, e := range sched.Visibility(sats, at, 0) {
+		if e.Sat != 0 {
+			t.Fatalf("edge for forbidden satellite %d", e.Sat)
+		}
+	}
+}
+
+func TestVisibilityElevationMask(t *testing.T) {
+	sched, sats := smallWorld(t, 20, 40)
+	at := epoch.Add(45 * time.Minute)
+	loose := sched.Visibility(sats, at, 0)
+	for _, gs := range sched.Stations {
+		gs.MinElevationRad = 20 * astro.Deg2Rad
+	}
+	strict := sched.Visibility(sats, at, 0)
+	if len(strict) > len(loose) {
+		t.Fatal("raising the mask created edges")
+	}
+	for _, e := range strict {
+		if e.Geometry.ElevationRad <= 20*astro.Deg2Rad {
+			t.Fatal("edge below the raised mask")
+		}
+	}
+}
+
+func TestBuildGraphWeightsPositive(t *testing.T) {
+	sched, sats := smallWorld(t, 25, 50)
+	at := epoch.Add(time.Hour)
+	edges := sched.Visibility(sats, at, 0)
+	g := sched.BuildGraph(sats, edges, time.Minute)
+	if len(g.Edges()) == 0 {
+		t.Fatal("graph has no edges")
+	}
+	for _, e := range g.Edges() {
+		if e.Weight <= 0 {
+			t.Fatal("non-positive weight in graph")
+		}
+	}
+	// A satellite with nothing to send contributes no edges.
+	for i := range sats {
+		sats[i].PendingBits = 0
+	}
+	g2 := sched.BuildGraph(sats, edges, time.Minute)
+	if len(g2.Edges()) != 0 {
+		t.Fatalf("empty queues still produced %d edges", len(g2.Edges()))
+	}
+}
+
+func TestPlanEpochStructure(t *testing.T) {
+	sched, sats := smallWorld(t, 20, 40)
+	plan := sched.PlanEpoch(sats, epoch, 30*time.Minute, time.Minute, 100*8e9/86400)
+	if len(plan.Slots) != 30 {
+		t.Fatalf("slots = %d, want 30", len(plan.Slots))
+	}
+	if !plan.Covers(epoch) || !plan.Covers(epoch.Add(29*time.Minute)) {
+		t.Fatal("plan must cover its horizon")
+	}
+	if plan.Covers(epoch.Add(31 * time.Minute)) {
+		t.Fatal("plan claims coverage past the horizon")
+	}
+	if plan.Covers(epoch.Add(-time.Minute)) {
+		t.Fatal("plan claims coverage before issue")
+	}
+	total := 0
+	for k, slot := range plan.Slots {
+		if !slot.Start.Equal(epoch.Add(time.Duration(k) * time.Minute)) {
+			t.Fatal("slot start misaligned")
+		}
+		seen := map[int]bool{}
+		perStation := map[int]int{}
+		for _, a := range slot.Assignments {
+			if seen[a.Sat] {
+				t.Fatal("satellite double-booked in one slot")
+			}
+			seen[a.Sat] = true
+			perStation[a.Station]++
+			if a.PlannedRateBps <= 0 {
+				t.Fatal("assignment with zero planned rate")
+			}
+		}
+		for st, nAssigned := range perStation {
+			if nAssigned > sched.Stations[st].Capacity() {
+				t.Fatalf("station %d over capacity", st)
+			}
+		}
+		total += len(slot.Assignments)
+	}
+	if total == 0 {
+		t.Fatal("plan is entirely empty")
+	}
+}
+
+func TestPlanVersionMonotone(t *testing.T) {
+	sched, sats := smallWorld(t, 5, 10)
+	p1 := sched.PlanEpoch(sats, epoch, 5*time.Minute, time.Minute, 0)
+	p2 := sched.PlanEpoch(sats, epoch.Add(5*time.Minute), 5*time.Minute, time.Minute, 0)
+	if p2.Version <= p1.Version {
+		t.Fatal("plan versions must increase")
+	}
+}
+
+func TestAssignmentForLookup(t *testing.T) {
+	sched, sats := smallWorld(t, 20, 40)
+	plan := sched.PlanEpoch(sats, epoch, 20*time.Minute, time.Minute, 0)
+	found := false
+	for k, slot := range plan.Slots {
+		for _, a := range slot.Assignments {
+			st, rate := plan.AssignmentFor(a.Sat, epoch.Add(time.Duration(k)*time.Minute+30*time.Second))
+			if st != a.Station || rate != a.PlannedRateBps {
+				t.Fatalf("AssignmentFor mismatch: got (%d,%g) want (%d,%g)", st, rate, a.Station, a.PlannedRateBps)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no assignments to verify")
+	}
+	if st, _ := plan.AssignmentFor(0, epoch.Add(2*time.Hour)); st != -1 {
+		t.Fatal("out-of-horizon lookup must return -1")
+	}
+	var nilPlan *Plan
+	if st, _ := nilPlan.AssignmentFor(0, epoch); st != -1 {
+		t.Fatal("nil plan must return -1")
+	}
+}
+
+func TestValueFunctions(t *testing.T) {
+	ctx := EdgeContext{
+		RateBps:     100e6,
+		SlotSeconds: 60,
+		PendingBits: 1e12,
+		OldestAge:   time.Hour,
+	}
+	lat := LatencyValue{}.Value(ctx)
+	thr := ThroughputValue{}.Value(ctx)
+	if lat <= 0 || thr <= 0 {
+		t.Fatal("value functions must be positive for useful edges")
+	}
+	// Latency Φ rewards age; throughput Φ ignores it.
+	older := ctx
+	older.OldestAge = 10 * time.Hour
+	if (LatencyValue{}).Value(older) <= lat {
+		t.Fatal("latency value must grow with age")
+	}
+	if (ThroughputValue{}).Value(older) != thr {
+		t.Fatal("throughput value must ignore age")
+	}
+	// Both reward rate.
+	faster := ctx
+	faster.RateBps *= 2
+	if (LatencyValue{}).Value(faster) <= lat || (ThroughputValue{}).Value(faster) <= thr {
+		t.Fatal("value must grow with rate")
+	}
+	// No pending data: worthless.
+	empty := ctx
+	empty.PendingBits = 0
+	if (LatencyValue{}).Value(empty) != 0 || (ThroughputValue{}).Value(empty) != 0 {
+		t.Fatal("empty queue must be worthless")
+	}
+	// Priority boosts the latency value.
+	urgent := ctx
+	urgent.MaxPriority = 5
+	if (LatencyValue{}).Value(urgent) <= lat {
+		t.Fatal("priority must boost latency value")
+	}
+}
+
+func TestGeographicValue(t *testing.T) {
+	inner := ThroughputValue{}
+	g := GeographicValue{
+		Inner:     inner,
+		LatMinRad: 0.5, LatMaxRad: 1.0,
+		LonMinRad: -0.5, LonMaxRad: 0.5,
+		Boost: 3,
+	}
+	in := EdgeContext{RateBps: 1e6, SlotSeconds: 60, PendingBits: 1e12, StationLatRad: 0.7, StationLonRad: 0}
+	out := in
+	out.StationLatRad = 0.1
+	if g.Value(in) != 3*inner.Value(in) {
+		t.Fatal("in-region edge not boosted")
+	}
+	if g.Value(out) != inner.Value(out) {
+		t.Fatal("out-of-region edge boosted")
+	}
+	if g.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestBiddingValue(t *testing.T) {
+	b := BiddingValue{Inner: ThroughputValue{}, Bids: map[int]float64{7: 2.5}}
+	ctx := EdgeContext{RateBps: 1e6, SlotSeconds: 60, PendingBits: 1e12}
+	base := ThroughputValue{}.Value(ctx)
+	v7 := b.WithStation(7).Value(ctx)
+	v8 := b.WithStation(8).Value(ctx)
+	if math.Abs(v7-2.5*base) > 1e-9 {
+		t.Fatalf("bid multiplier not applied: %v", v7)
+	}
+	if v8 != base {
+		t.Fatalf("non-bidding station scaled: %v", v8)
+	}
+}
+
+func TestSchedulerWithForecast(t *testing.T) {
+	sched, sats := smallWorld(t, 20, 40)
+	truth := weather.NewField(3)
+	sched.Forecast = weather.NewForecast(truth, 0.5)
+	at := epoch.Add(time.Hour)
+	withWeather := sched.Visibility(sats, at, 2*time.Hour)
+	sched.Forecast = nil
+	clearSky := sched.Visibility(sats, at, 0)
+	// Weather can only remove or slow edges, never add capacity.
+	if len(withWeather) > len(clearSky) {
+		t.Fatalf("weather added edges: %d > %d", len(withWeather), len(clearSky))
+	}
+	rate := map[[2]int]float64{}
+	for _, e := range clearSky {
+		rate[[2]int{e.Sat, e.Station}] = e.RateBps
+	}
+	for _, e := range withWeather {
+		if clear, ok := rate[[2]int{e.Sat, e.Station}]; ok && e.RateBps > clear+1 {
+			t.Fatalf("weather increased a rate: %g > %g", e.RateBps, clear)
+		}
+	}
+}
+
+func TestMatcherPluggable(t *testing.T) {
+	sched, sats := smallWorld(t, 25, 30)
+	at := epoch.Add(90 * time.Minute)
+	edges := sched.Visibility(sats, at, 0)
+	g := sched.BuildGraph(sats, edges, time.Minute)
+	if len(g.Edges()) == 0 {
+		t.Skip("no edges at this instant")
+	}
+	stable := match.Stable(g)
+	optimal := match.MaxWeight(g)
+	if optimal.Value+1e-9 < stable.Value {
+		t.Fatal("optimal matching worse than stable")
+	}
+}
+
+func BenchmarkVisibilityFullPopulation(b *testing.B) {
+	els := dataset.Satellites(dataset.SatelliteOptions{N: 259, Seed: 1, Epoch: epoch})
+	sats := make([]SatSnapshot, 0, len(els))
+	for _, el := range els {
+		p, err := sgp4.New(el)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sats = append(sats, SatSnapshot{Prop: p, PendingBits: 8e9, OldestAge: time.Hour})
+	}
+	sched := &Scheduler{
+		Radio:    linkbudget.DefaultRadio(),
+		Stations: dataset.Stations(dataset.StationOptions{Seed: 1}),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Visibility(sats, epoch.Add(time.Duration(i)*time.Minute), 0)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "dgs/internal/match"
+
+// WithHysteresis wraps a matcher with cross-slot continuity: edges that
+// were matched in the previous slot get their weight multiplied by boost
+// (>1) before matching. This is a lightweight version of the cross-time
+// optimization the paper leaves to future work (§3.1 "We do not optimize
+// for links across time"): it suppresses assignment churn between
+// consecutive slots, which costs real systems antenna repointing and
+// re-acquisition, at a small loss in instantaneous matching value.
+//
+// The returned Matcher carries state and is not safe for concurrent use;
+// give each scheduler its own instance.
+func WithHysteresis(inner Matcher, boost float64) Matcher {
+	if boost < 1 {
+		boost = 1
+	}
+	var prev map[[2]int]bool
+	return func(g *match.Graph) match.Matching {
+		boosted := match.NewGraph(g.NLeft(), g.NRight())
+		for j := 0; j < g.NRight(); j++ {
+			boosted.SetCapacity(j, g.Capacity(j))
+		}
+		for _, e := range g.Edges() {
+			w := e.Weight
+			if prev[[2]int{e.Left, e.Right}] {
+				w *= boost
+			}
+			// Weights were already validated by the original graph.
+			_ = boosted.AddEdge(e.Left, e.Right, w)
+		}
+		m := inner(boosted)
+		// Recompute the reported value against the *original* weights so
+		// callers compare matchers fairly.
+		value := 0.0
+		orig := make(map[[2]int]float64)
+		for _, e := range g.Edges() {
+			orig[[2]int{e.Left, e.Right}] = e.Weight
+		}
+		next := make(map[[2]int]bool)
+		for sat, st := range m.LeftToRight {
+			if st < 0 {
+				continue
+			}
+			next[[2]int{sat, st}] = true
+			value += orig[[2]int{sat, st}]
+		}
+		prev = next
+		m.Value = value
+		return m
+	}
+}

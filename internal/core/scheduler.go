@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/frames"
+	"dgs/internal/linkbudget"
+	"dgs/internal/match"
+	"dgs/internal/orbit"
+	"dgs/internal/station"
+	"dgs/internal/weather"
+)
+
+// Matcher selects a matching algorithm; match.Stable is the paper's choice.
+type Matcher func(*match.Graph) match.Matching
+
+// SatSnapshot is the scheduler's view of one satellite when building a plan.
+type SatSnapshot struct {
+	// Prop propagates the satellite's orbit.
+	Prop orbit.Propagator
+	// PendingBits, OldestAge, MaxPriority summarize the downlink queue as
+	// known to the scheduler (relayed over the Internet from past contacts,
+	// or assumed from the capture model).
+	PendingBits float64
+	OldestAge   time.Duration
+	MaxPriority float64
+}
+
+// Assignment is one scheduled link in one slot.
+type Assignment struct {
+	// Sat and Station are population indices.
+	Sat, Station int
+	// PlannedRateBps is the forecast-based rate the satellite is told to
+	// use (its MODCOD choice); the actual channel may turn out worse.
+	PlannedRateBps float64
+	// Weight is the Φ value the matching saw (for diagnostics).
+	Weight float64
+}
+
+// Slot is the schedule for one time step.
+type Slot struct {
+	// Start is the slot start time.
+	Start time.Time
+	// Assignments lists the matched links.
+	Assignments []Assignment
+}
+
+// Plan is a downlink schedule over a horizon, produced at a planning epoch
+// and uploaded to satellites via transmit-capable stations.
+type Plan struct {
+	// Version is a monotonically increasing plan identifier.
+	Version int
+	// Issued is the planning epoch.
+	Issued time.Time
+	// SlotDur is the slot granularity.
+	SlotDur time.Duration
+	// Slots covers [Issued, Issued+len(Slots)*SlotDur).
+	Slots []Slot
+}
+
+// AssignmentFor returns the planned station for a satellite at time t, or
+// (-1, 0) when the plan has no assignment (out of horizon or unmatched).
+func (p *Plan) AssignmentFor(sat int, t time.Time) (stationID int, rateBps float64) {
+	if p == nil || len(p.Slots) == 0 || t.Before(p.Issued) {
+		return -1, 0
+	}
+	idx := int(t.Sub(p.Issued) / p.SlotDur)
+	if idx < 0 || idx >= len(p.Slots) {
+		return -1, 0
+	}
+	for _, a := range p.Slots[idx].Assignments {
+		if a.Sat == sat {
+			return a.Station, a.PlannedRateBps
+		}
+	}
+	return -1, 0
+}
+
+// Covers reports whether the plan has a slot for time t.
+func (p *Plan) Covers(t time.Time) bool {
+	if p == nil || len(p.Slots) == 0 {
+		return false
+	}
+	return !t.Before(p.Issued) && t.Before(p.Issued.Add(time.Duration(len(p.Slots))*p.SlotDur))
+}
+
+// Scheduler builds downlink plans for a station network and constellation.
+type Scheduler struct {
+	// Radio is the satellites' transmit side.
+	Radio linkbudget.Radio
+	// Stations is the ground network (right side of the graph).
+	Stations station.Network
+	// Value is Φ. Defaults to LatencyValue.
+	Value ValueFunc
+	// Match is the matching algorithm. Defaults to match.Stable.
+	Match Matcher
+	// Forecast supplies predicted weather; nil means clear sky.
+	Forecast *weather.Forecast
+	// MaxRangeKm prunes pairs beyond plausible visibility before computing
+	// exact look angles. Defaults to 3500 km (horizon range for 600 km LEO
+	// with slack).
+	MaxRangeKm float64
+
+	nextVersion int
+
+	// cellIdx buckets stations into 10°×10° geodetic cells so visibility
+	// only examines stations near each satellite's ground track.
+	cellIdx map[[2]int][]int
+
+	// ecefCache memoizes satellite ECEF positions per slot instant.
+	// Successive plan epochs overlap heavily, so each instant would
+	// otherwise be propagated several times. The cache assumes the same
+	// satellite population across calls (it is keyed by count and time).
+	ecefCache map[int64][]cachedECEF
+}
+
+type cachedECEF struct {
+	pos frames.Vec3
+	ok  bool
+}
+
+// cell returns the 10°×10° bucket for a latitude/longitude in radians.
+func cell(latRad, lonRad float64) [2]int {
+	lat := astro.Clamp(latRad*astro.Rad2Deg, -89.999, 89.999)
+	lon := astro.NormalizePi(lonRad) * astro.Rad2Deg
+	return [2]int{int((lat + 90) / 10), int((lon + 180) / 10)}
+}
+
+func (s *Scheduler) stationIndex() map[[2]int][]int {
+	if s.cellIdx == nil {
+		s.cellIdx = make(map[[2]int][]int)
+		for j, gs := range s.Stations {
+			c := cell(gs.Location.LatRad, gs.Location.LonRad)
+			s.cellIdx[c] = append(s.cellIdx[c], j)
+		}
+	}
+	return s.cellIdx
+}
+
+func (s *Scheduler) value() ValueFunc {
+	if s.Value == nil {
+		return LatencyValue{}
+	}
+	return s.Value
+}
+
+func (s *Scheduler) matcher() Matcher {
+	if s.Match == nil {
+		return match.Stable
+	}
+	return s.Match
+}
+
+func (s *Scheduler) maxRange() float64 {
+	if s.MaxRangeKm <= 0 {
+		return 3500
+	}
+	return s.MaxRangeKm
+}
+
+// VisibleEdge is a feasible link with its geometry and predicted rate.
+type VisibleEdge struct {
+	Sat, Station int
+	Geometry     linkbudget.Geometry
+	RateBps      float64
+}
+
+// Visibility computes the feasible edges at time t: satellite above the
+// station's elevation mask, downlink permitted by the constraint bitmap,
+// and a positive predicted rate under forecast weather at the given lead.
+//
+// A 10° geodetic cell index over the stations keeps the cost proportional
+// to stations actually near each ground track, not |S|·|G|.
+func (s *Scheduler) Visibility(sats []SatSnapshot, t time.Time, lead time.Duration) []VisibleEdge {
+	idx := s.stationIndex()
+	jd := astro.JulianDate(t)
+
+	// Forecast weather per station, fetched lazily: only stations with a
+	// candidate edge pay for a weather lookup.
+	condCache := make([]linkbudget.Conditions, len(s.Stations))
+	condKnown := make([]bool, len(s.Stations))
+	condFor := func(j int) linkbudget.Conditions {
+		if !condKnown[j] {
+			if s.Forecast != nil {
+				gs := s.Stations[j]
+				w := s.Forecast.AtLead(gs.Location.LatRad, gs.Location.LonRad, t, lead)
+				condCache[j] = linkbudget.Conditions{RainMmH: w.RainMmH, CloudKgM2: w.CloudKgM2}
+			}
+			condKnown[j] = true
+		}
+		return condCache[j]
+	}
+
+	// Memoized propagation for this instant.
+	key := t.UnixNano()
+	if s.ecefCache == nil {
+		s.ecefCache = make(map[int64][]cachedECEF)
+	}
+	cached, ok := s.ecefCache[key]
+	if !ok || len(cached) != len(sats) {
+		cached = make([]cachedECEF, len(sats))
+		for i, ss := range sats {
+			st, err := ss.Prop.PropagateTo(t)
+			if err != nil {
+				continue
+			}
+			cached[i] = cachedECEF{pos: frames.TEMEToECEF(st.PositionKm, jd), ok: true}
+		}
+		if len(s.ecefCache) > 4096 {
+			s.ecefCache = make(map[int64][]cachedECEF)
+		}
+		s.ecefCache[key] = cached
+	}
+
+	var edges []VisibleEdge
+	for i := range sats {
+		if !cached[i].ok {
+			continue
+		}
+		ecef := cached[i].pos
+		r := ecef.Norm()
+		if r <= astro.EarthRadiusKm {
+			continue
+		}
+		// Horizon central angle from altitude, with margin for the geoid
+		// and cell quantization.
+		psiDeg := math.Acos(astro.EarthRadiusKm/r)*astro.Rad2Deg + 4
+		subLatDeg := math.Asin(ecef.Z/r) * astro.Rad2Deg
+		subLonDeg := math.Atan2(ecef.Y, ecef.X) * astro.Rad2Deg
+
+		latLo := int((astro.Clamp(subLatDeg-psiDeg, -89.999, 89.999) + 90) / 10)
+		latHi := int((astro.Clamp(subLatDeg+psiDeg, -89.999, 89.999) + 90) / 10)
+		for latCell := latLo; latCell <= latHi; latCell++ {
+			// Longitude half-width grows with the band's highest latitude.
+			bandMaxAbs := math.Max(math.Abs(float64(latCell*10-90)), math.Abs(float64(latCell*10-80)))
+			halfW := 180.0
+			if bandMaxAbs < 85 {
+				halfW = psiDeg / math.Cos(bandMaxAbs*astro.Deg2Rad)
+				if halfW > 180 {
+					halfW = 180
+				}
+			}
+			lonCells := int(halfW/10) + 1
+			if lonCells > 18 {
+				lonCells = 18
+			}
+			center := int((astro.NormalizePi(subLonDeg*astro.Deg2Rad)*astro.Rad2Deg + 180) / 10)
+			for dl := -lonCells; dl <= lonCells; dl++ {
+				lonCell := ((center+dl)%36 + 36) % 36
+				if dl == lonCells && lonCells == 18 && dl != -lonCells {
+					break // full wrap: avoid visiting the seam cell twice
+				}
+				for _, j := range idx[[2]int{latCell, lonCell}] {
+					gs := s.Stations[j]
+					if !gs.Allows(i) {
+						continue
+					}
+					d := ecef.Sub(gs.Location.ECEF())
+					if d.Norm() > s.maxRange() {
+						continue
+					}
+					look := frames.Look(gs.Location, ecef)
+					if look.ElevationRad <= gs.MinElevationRad {
+						continue
+					}
+					geo := linkbudget.Geometry{
+						RangeKm:         look.RangeKm,
+						ElevationRad:    look.ElevationRad,
+						StationLatRad:   gs.Location.LatRad,
+						StationHeightKm: gs.Location.AltKm,
+					}
+					rate := linkbudget.RateBps(s.Radio, gs.EffectiveTerminal(), geo, condFor(j))
+					if rate <= 0 {
+						continue
+					}
+					edges = append(edges, VisibleEdge{Sat: i, Station: j, Geometry: geo, RateBps: rate})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// BuildGraph turns visibility into the weighted bipartite graph of §3.1.
+func (s *Scheduler) BuildGraph(sats []SatSnapshot, edges []VisibleEdge, slotDur time.Duration) *match.Graph {
+	g := match.NewGraph(len(sats), len(s.Stations))
+	for j, gs := range s.Stations {
+		g.SetCapacity(j, gs.Capacity())
+	}
+	val := s.value()
+	for _, e := range edges {
+		gs := s.Stations[e.Station]
+		v := val
+		if sa, ok := v.(StationAware); ok {
+			v = sa.WithStation(gs.ID)
+		}
+		ctx := EdgeContext{
+			RateBps:       e.RateBps,
+			SlotSeconds:   slotDur.Seconds(),
+			PendingBits:   sats[e.Sat].PendingBits,
+			OldestAge:     sats[e.Sat].OldestAge,
+			MaxPriority:   sats[e.Sat].MaxPriority,
+			StationLatRad: gs.Location.LatRad,
+			StationLonRad: gs.Location.LonRad,
+			StationTx:     gs.TxCapable,
+		}
+		w := v.Value(ctx)
+		if w > 0 {
+			if err := g.AddEdge(e.Sat, e.Station, w); err != nil {
+				panic(fmt.Sprintf("core: internal edge error: %v", err))
+			}
+		}
+	}
+	return g
+}
+
+// PlanEpoch produces a plan covering [start, start+horizon) at slotDur
+// granularity. The queue snapshots evolve optimistically inside the horizon:
+// scheduled transmissions drain PendingBits so later slots don't re-schedule
+// the same data, and capture feeds the queue at genBitsPerSec.
+func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slotDur time.Duration, genBitsPerSec float64) *Plan {
+	if slotDur <= 0 {
+		slotDur = time.Minute
+	}
+	n := int(horizon / slotDur)
+	if n < 1 {
+		n = 1
+	}
+	// Work on a copy: planning must not mutate the caller's snapshots.
+	work := make([]SatSnapshot, len(sats))
+	copy(work, sats)
+
+	s.nextVersion++
+	plan := &Plan{
+		Version: s.nextVersion,
+		Issued:  start,
+		SlotDur: slotDur,
+		Slots:   make([]Slot, 0, n),
+	}
+	for k := 0; k < n; k++ {
+		t := start.Add(time.Duration(k) * slotDur)
+		lead := t.Sub(start)
+		edges := s.Visibility(work, t, lead)
+		g := s.BuildGraph(work, edges, slotDur)
+		m := s.matcher()(g)
+
+		rate := make(map[[2]int]float64, len(edges))
+		for _, e := range edges {
+			rate[[2]int{e.Sat, e.Station}] = e.RateBps
+		}
+		weight := make(map[[2]int]float64, len(edges))
+		for _, e := range g.Edges() {
+			weight[[2]int{e.Left, e.Right}] = e.Weight
+		}
+		slot := Slot{Start: t}
+		for sat, st := range m.LeftToRight {
+			if st < 0 {
+				continue
+			}
+			r := rate[[2]int{sat, st}]
+			slot.Assignments = append(slot.Assignments, Assignment{
+				Sat:            sat,
+				Station:        st,
+				PlannedRateBps: r,
+				Weight:         weight[[2]int{sat, st}],
+			})
+			// Drain the modeled queue.
+			sent := r * slotDur.Seconds()
+			if sent > work[sat].PendingBits {
+				sent = work[sat].PendingBits
+			}
+			work[sat].PendingBits -= sent
+			if work[sat].PendingBits <= 0 {
+				work[sat].OldestAge = 0
+			}
+		}
+		// Capture refills every queue.
+		for i := range work {
+			work[i].PendingBits += genBitsPerSec * slotDur.Seconds()
+			if work[i].PendingBits > 0 {
+				work[i].OldestAge += slotDur
+			}
+		}
+		plan.Slots = append(plan.Slots, slot)
+	}
+	return plan
+}

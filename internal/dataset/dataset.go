@@ -1,0 +1,246 @@
+// Package dataset synthesizes the evaluation population of the paper (§4):
+// 173 ground stations whose geographic distribution mimics the SatNOGS
+// network (dense in Europe and North America, sparse in the southern
+// hemisphere — Fig. 2) and 259 LEO Earth-observation satellites in the
+// 300-600 km polar / sun-synchronous orbits the paper describes (§1, §2).
+//
+// The real SatNOGS database is a live web service; this generator is the
+// DESIGN.md-documented substitution. Everything is deterministic in the
+// seed. A few real historical TLEs are embedded as validation fixtures.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/frames"
+	"dgs/internal/linkbudget"
+	"dgs/internal/station"
+	"dgs/internal/tle"
+)
+
+// region is a lat/lon box with a sampling weight, loosely matching where
+// SatNOGS stations actually stand.
+type region struct {
+	name             string
+	latMin, latMax   float64 // degrees
+	lonMin, lonMax   float64 // degrees
+	weight           float64
+	clusters         int // sub-clusters within the region
+	clusterSpreadDeg float64
+}
+
+var regions = []region{
+	{"europe", 36, 62, -10, 30, 0.52, 8, 3.5},
+	{"north-america", 25, 55, -125, -65, 0.22, 6, 5},
+	{"east-asia-oceania", -45, 45, 100, 155, 0.10, 5, 6},
+	{"south-america", -40, 10, -80, -35, 0.05, 3, 6},
+	{"africa-mideast", -30, 38, -15, 55, 0.05, 3, 8},
+	{"high-latitude", 55, 70, -160, 40, 0.06, 3, 10},
+}
+
+// StationOptions configures the synthetic ground-station network.
+type StationOptions struct {
+	// N is the number of stations (paper: 173).
+	N int
+	// TxFraction is the share of transmit-capable stations (paper: a
+	// "very small number"; default 0.1).
+	TxFraction float64
+	// Seed drives all randomness.
+	Seed int64
+	// Terminal is the RF chain for every station; zero value means the
+	// paper's 1 m DGS terminal.
+	Terminal linkbudget.Terminal
+	// MinElevationDeg is the horizon mask (paper's graph rule is 0°).
+	MinElevationDeg float64
+}
+
+func (o StationOptions) withDefaults() StationOptions {
+	if o.N == 0 {
+		o.N = 173
+	}
+	if o.TxFraction == 0 {
+		o.TxFraction = 0.1
+	}
+	if o.Terminal.DishDiameterM == 0 {
+		o.Terminal = linkbudget.DGSTerminal()
+	}
+	return o
+}
+
+// Stations generates the synthetic DGS network.
+func Stations(opt StationOptions) station.Network {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Pre-compute cluster centers per region.
+	type cluster struct{ lat, lon, spread float64 }
+	var clusters []cluster
+	var weights []float64
+	for _, r := range regions {
+		for c := 0; c < r.clusters; c++ {
+			clusters = append(clusters, cluster{
+				lat:    r.latMin + rng.Float64()*(r.latMax-r.latMin),
+				lon:    r.lonMin + rng.Float64()*(r.lonMax-r.lonMin),
+				spread: r.clusterSpreadDeg,
+			})
+			weights = append(weights, r.weight/float64(r.clusters))
+		}
+	}
+	totalW := 0.0
+	for _, w := range weights {
+		totalW += w
+	}
+
+	pick := func() cluster {
+		x := rng.Float64() * totalW
+		for i, w := range weights {
+			if x < w {
+				return clusters[i]
+			}
+			x -= w
+		}
+		return clusters[len(clusters)-1]
+	}
+
+	net := make(station.Network, 0, opt.N)
+	nTx := int(math.Round(float64(opt.N) * opt.TxFraction))
+	if nTx < 1 {
+		nTx = 1
+	}
+	for i := 0; i < opt.N; i++ {
+		c := pick()
+		lat := astro.Clamp(c.lat+rng.NormFloat64()*c.spread, -78, 78)
+		lon := c.lon + rng.NormFloat64()*c.spread
+		for lon > 180 {
+			lon -= 360
+		}
+		for lon < -180 {
+			lon += 360
+		}
+		net = append(net, &station.Station{
+			ID:              i,
+			Name:            fmt.Sprintf("dgs-%03d", i),
+			Location:        frames.NewGeodeticDeg(lat, lon, rng.Float64()*1.5),
+			TxCapable:       i < nTx, // assignment is positional; placement is random
+			Terminal:        opt.Terminal,
+			MinElevationRad: opt.MinElevationDeg * astro.Deg2Rad,
+		})
+	}
+	return net
+}
+
+// SatelliteOptions configures the synthetic constellation.
+type SatelliteOptions struct {
+	// N is the number of satellites (paper: 259).
+	N int
+	// Seed drives all randomness.
+	Seed int64
+	// Epoch is the TLE epoch; pass the simulation start.
+	Epoch time.Time
+}
+
+func (o SatelliteOptions) withDefaults() SatelliteOptions {
+	if o.N == 0 {
+		o.N = 259
+	}
+	if o.Epoch.IsZero() {
+		o.Epoch = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return o
+}
+
+// Satellites generates element sets for the constellation: predominantly
+// sun-synchronous Earth-observation orbits at 300-600 km (paper §1), with
+// ISS-inclination and pure-polar minorities, echoing the mixed population
+// SatNOGS observes.
+func Satellites(opt SatelliteOptions) []tle.TLE {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	out := make([]tle.TLE, 0, opt.N)
+	for i := 0; i < opt.N; i++ {
+		altKm := 300 + rng.Float64()*300
+		var incl float64
+		switch r := rng.Float64(); {
+		case r < 0.70: // sun-synchronous: inclination tracks altitude
+			incl = 96.5 + (altKm-300)/300*2.0 + rng.NormFloat64()*0.2
+		case r < 0.85: // ISS-like rideshares
+			incl = 51.6 + rng.NormFloat64()*0.5
+		case r < 0.95: // pure polar
+			incl = 90 + rng.NormFloat64()*1.0
+		default: // mid-inclination experiments
+			incl = 60 + rng.Float64()*20
+		}
+		a := astro.WGS72().RadiusKm + altKm
+		n := 86400.0 / (astro.TwoPi * math.Sqrt(a*a*a/astro.WGS72().MuKm3S2))
+		out = append(out, tle.TLE{
+			Name:           fmt.Sprintf("EO-SAT-%03d", i),
+			NoradID:        70000 + i,
+			Classification: 'U',
+			IntlDesignator: fmt.Sprintf("20%03dA", i),
+			Epoch:          opt.Epoch,
+			BStar:          1e-5 + rng.Float64()*4e-5,
+			ElementSetNo:   1,
+			InclinationDeg: incl,
+			RAANDeg:        rng.Float64() * 360,
+			Eccentricity:   0.0001 + rng.Float64()*0.002,
+			ArgPerigeeDeg:  rng.Float64() * 360,
+			MeanAnomalyDeg: rng.Float64() * 360,
+			MeanMotion:     n,
+			RevNumber:      1,
+		})
+	}
+	return out
+}
+
+// RealTLEs returns embedded historical element sets used as SGP4 fixtures:
+// the Vallado verification satellite, the ISS, and NOAA-18 (checksums valid).
+func RealTLEs() []string {
+	return []string{
+		`1 00005U 58002B   00179.78495062  .00000023  00000-0  28098-4 0  4753
+2 00005  34.2682 348.7242 1859667 331.7664  19.3264 10.82419157413667`,
+		`ISS (ZARYA)
+1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927
+2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537`,
+		`NOAA 18
+1 28654U 05018A   20098.54037539  .00000075  00000-0  65128-4 0  9992
+2 28654  99.0522 147.1467 0013505 193.9882 186.1085 14.12501077766903`,
+	}
+}
+
+// BaselineStations returns the paper's centralized baseline: "5 such
+// high-end ground stations across the planet" (§4, modeled on [10] —
+// Planet's network of mid-latitude teleports), six-channel 4 m terminals,
+// all transmit-capable. A mid-latitude mix reproduces the paper's baseline
+// regime: each polar-orbiting satellite meets every site only a few times a
+// day, so contacts are gap-dominated and the network runs near saturation
+// (the paper's 293-minute p90 latency and 8.5 GB median daily backlog).
+func BaselineStations() station.Network {
+	sites := []struct {
+		name     string
+		lat, lon float64
+	}{
+		{"san-francisco", 37.42, -122.21},
+		{"cork", 51.90, -8.47},
+		{"tokyo", 35.68, 139.69},
+		{"sydney", -33.87, 151.21},
+		{"sao-paulo", -23.55, -46.63},
+	}
+	net := make(station.Network, 0, len(sites))
+	for i, s := range sites {
+		net = append(net, &station.Station{
+			ID:        i,
+			Name:      s.name,
+			Location:  frames.NewGeodeticDeg(s.lat, s.lon, 0.2),
+			TxCapable: true,
+			Terminal:  linkbudget.BaselineTerminal(),
+			// Commercial stations schedule above a 5° mask; the paper's
+			// DGS graph rule (elevation > 0) applies to DGS nodes only.
+			MinElevationRad: 5 * astro.Deg2Rad,
+		})
+	}
+	return net
+}

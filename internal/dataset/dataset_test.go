@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+
+	"dgs/internal/sgp4"
+	"dgs/internal/tle"
+)
+
+func TestStationsDefaults(t *testing.T) {
+	net := Stations(StationOptions{Seed: 1})
+	if len(net) != 173 {
+		t.Fatalf("default station count = %d, want 173 (paper)", len(net))
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tx := len(net.TxStations())
+	if tx < 10 || tx > 30 {
+		t.Fatalf("tx stations = %d, want ~17 (10%%)", tx)
+	}
+}
+
+func TestStationsGeographicSkew(t *testing.T) {
+	// SatNOGS-like density: the northern hemisphere, and Europe in
+	// particular, must dominate.
+	net := Stations(StationOptions{Seed: 7})
+	north, europe := 0, 0
+	for _, s := range net {
+		lat, lon := s.Location.LatDeg(), s.Location.LonDeg()
+		if lat > 0 {
+			north++
+		}
+		if lat > 33 && lat < 66 && lon > -12 && lon < 35 {
+			europe++
+		}
+	}
+	if float64(north)/float64(len(net)) < 0.7 {
+		t.Errorf("northern fraction %.2f, want > 0.7", float64(north)/float64(len(net)))
+	}
+	if float64(europe)/float64(len(net)) < 0.35 {
+		t.Errorf("european fraction %.2f, want > 0.35", float64(europe)/float64(len(net)))
+	}
+}
+
+func TestStationsDeterministic(t *testing.T) {
+	a := Stations(StationOptions{Seed: 3})
+	b := Stations(StationOptions{Seed: 3})
+	for i := range a {
+		if a[i].Location != b[i].Location || a[i].TxCapable != b[i].TxCapable {
+			t.Fatal("same seed produced different networks")
+		}
+	}
+	c := Stations(StationOptions{Seed: 4})
+	same := 0
+	for i := range a {
+		if a[i].Location == c[i].Location {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Fatal("different seeds produced near-identical networks")
+	}
+}
+
+func TestSatellitesDefaults(t *testing.T) {
+	sats := Satellites(SatelliteOptions{Seed: 1})
+	if len(sats) != 259 {
+		t.Fatalf("default satellite count = %d, want 259 (paper)", len(sats))
+	}
+	sunSync := 0
+	for i, el := range sats {
+		if err := el.Validate(); err != nil {
+			t.Fatalf("satellite %d invalid: %v", i, err)
+		}
+		// Altitude in the paper's 300-600 km band (small slack for ecc).
+		if alt := el.PerigeeKm(); alt < 270 || alt > 640 {
+			t.Errorf("satellite %d perigee %.0f km out of band", i, alt)
+		}
+		if el.InclinationDeg > 95 && el.InclinationDeg < 100 {
+			sunSync++
+		}
+	}
+	if float64(sunSync)/float64(len(sats)) < 0.5 {
+		t.Errorf("sun-synchronous fraction %.2f, want > 0.5", float64(sunSync)/float64(len(sats)))
+	}
+}
+
+func TestSatellitesPropagate(t *testing.T) {
+	// Every generated element set must initialize SGP4 and survive a day.
+	epoch := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	sats := Satellites(SatelliteOptions{Seed: 5, Epoch: epoch, N: 50})
+	for i, el := range sats {
+		p, err := sgp4.New(el)
+		if err != nil {
+			t.Fatalf("satellite %d: %v", i, err)
+		}
+		for _, dt := range []time.Duration{0, 6 * time.Hour, 24 * time.Hour} {
+			st, err := p.PropagateTo(epoch.Add(dt))
+			if err != nil {
+				t.Fatalf("satellite %d at %v: %v", i, dt, err)
+			}
+			if r := st.PositionKm.Norm(); r < 6600 || r > 7100 {
+				t.Fatalf("satellite %d radius %.0f km out of LEO band", i, r)
+			}
+		}
+	}
+}
+
+func TestSatellitesFormatRoundTrip(t *testing.T) {
+	// Generated TLEs survive the canonical text representation.
+	sats := Satellites(SatelliteOptions{Seed: 2, N: 20})
+	for i, el := range sats {
+		back, err := tle.Parse(el.Format())
+		if err != nil {
+			t.Fatalf("satellite %d: %v\n%s", i, err, el.Format())
+		}
+		if back.NoradID != el.NoradID {
+			t.Fatalf("satellite %d: ID changed", i)
+		}
+	}
+}
+
+func TestRealTLEsParse(t *testing.T) {
+	for i, s := range RealTLEs() {
+		el, err := tle.Parse(s)
+		if err != nil {
+			t.Fatalf("fixture %d: %v", i, err)
+		}
+		if _, err := sgp4.New(el); err != nil {
+			t.Fatalf("fixture %d: sgp4 init: %v", i, err)
+		}
+	}
+}
+
+func TestBaselineStations(t *testing.T) {
+	net := BaselineStations()
+	if len(net) != 5 {
+		t.Fatalf("baseline stations = %d, want 5 (paper §4)", len(net))
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	northern, southern := 0, 0
+	var lons []float64
+	for _, s := range net {
+		if !s.TxCapable {
+			t.Errorf("%s: baseline stations are full ground stations with uplink", s.Name)
+		}
+		if s.Terminal.Channels != 6 {
+			t.Errorf("%s: channels = %d, want 6", s.Name, s.Terminal.Channels)
+		}
+		if s.Terminal.DishDiameterM != 4.0 {
+			t.Errorf("%s: dish = %.1f m, want 4", s.Name, s.Terminal.DishDiameterM)
+		}
+		if s.Location.LatDeg() > 0 {
+			northern++
+		} else {
+			southern++
+		}
+		lons = append(lons, s.Location.LonDeg())
+	}
+	// "Across the planet": both hemispheres and a wide longitude spread.
+	if northern == 0 || southern == 0 {
+		t.Error("baseline stations must cover both hemispheres")
+	}
+	minLon, maxLon := lons[0], lons[0]
+	for _, l := range lons {
+		if l < minLon {
+			minLon = l
+		}
+		if l > maxLon {
+			maxLon = l
+		}
+	}
+	if maxLon-minLon < 120 {
+		t.Errorf("baseline longitude spread only %.0f°", maxLon-minLon)
+	}
+}

@@ -1,0 +1,29 @@
+package dvbs2_test
+
+import (
+	"fmt"
+
+	"dgs/internal/dvbs2"
+)
+
+// A DGS receive-only node cannot measure the channel, so the scheduler
+// predicts Es/N0 and picks the MODCOD the satellite should transmit with.
+func ExampleSelect() {
+	predicted := 9.2 // dB, from the link-quality model
+	margin := 1.0    // dB of implementation margin
+
+	mc, ok := dvbs2.Select(predicted, margin)
+	fmt.Println(ok, mc.Name)
+
+	rate := dvbs2.Rate(predicted, margin, 72e6) // 72 MBaud channel
+	fmt.Printf("%.1f Mbps\n", rate/1e6)
+	// Output:
+	// true 8PSK 3/4
+	// 160.4 Mbps
+}
+
+func ExampleRate_deadLink() {
+	// Below the most robust MODCOD's threshold the link carries nothing.
+	fmt.Println(dvbs2.Rate(-5, 0, 72e6))
+	// Output: 0
+}

@@ -1,0 +1,154 @@
+// Package edge implements the ground-station edge compute extension of
+// §3.3: "Ground stations can leverage edge compute techniques to deliver
+// latency-sensitive data to the cloud faster and upload the other data at a
+// lower priority." A station's received chunks flow through an optional
+// processing stage (which can shrink them — cloud masking, tiling,
+// compression) into a priority-ordered backhaul queue drained at the
+// station's Internet uplink rate.
+//
+// This is the paper's answer to satellite-side pre-filtering ([8], orbital
+// edge computing): the filtering happens after the full downlink, so no
+// data is irreversibly discarded in orbit.
+package edge
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Product is one unit of station output awaiting backhaul.
+type Product struct {
+	// Sat and ChunkID identify the source data.
+	Sat     int
+	ChunkID uint64
+	// Bits is the upload size after processing.
+	Bits float64
+	// Priority orders the backhaul queue; larger first.
+	Priority float64
+	// ReadyAt is when processing finished and upload may begin.
+	ReadyAt time.Time
+}
+
+// Delivery records a product's arrival in the cloud.
+type Delivery struct {
+	Product Product
+	// CloudAt is when the last bit reached the cloud.
+	CloudAt time.Time
+}
+
+// Processor models the station's edge compute stage.
+type Processor struct {
+	// Reduction scales chunk size: 1 uploads raw data (the VERGE [26]
+	// model needs orders of magnitude more backhaul; DGS co-locates
+	// compute, so typical values are well below 1). Must be in (0, 1].
+	Reduction float64
+	// Latency is the processing time per chunk.
+	Latency time.Duration
+}
+
+// Validate checks the processor parameters.
+func (p Processor) Validate() error {
+	if p.Reduction <= 0 || p.Reduction > 1 {
+		return fmt.Errorf("edge: reduction %g out of (0, 1]", p.Reduction)
+	}
+	if p.Latency < 0 {
+		return errors.New("edge: negative processing latency")
+	}
+	return nil
+}
+
+// Backhaul is a station's Internet uplink: a priority queue drained at a
+// fixed rate. It is single-owner (one station), not safe for concurrent
+// use.
+type Backhaul struct {
+	// RateBps is the uplink capacity.
+	RateBps float64
+	// Proc is the edge compute stage applied at Enqueue.
+	Proc Processor
+
+	queue   productHeap
+	busyTil time.Time
+	// queuedBits tracks the backlog for telemetry.
+	queuedBits float64
+}
+
+// NewBackhaul builds a backhaul with the given uplink rate and processor.
+func NewBackhaul(rateBps float64, proc Processor) (*Backhaul, error) {
+	if rateBps <= 0 {
+		return nil, errors.New("edge: backhaul rate must be positive")
+	}
+	if err := proc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Backhaul{RateBps: rateBps, Proc: proc}, nil
+}
+
+// Enqueue admits a received chunk: the processor shrinks it and stamps its
+// readiness, then it waits for uplink capacity in priority order.
+func (b *Backhaul) Enqueue(sat int, chunkID uint64, rawBits, priority float64, receivedAt time.Time) {
+	p := Product{
+		Sat:      sat,
+		ChunkID:  chunkID,
+		Bits:     rawBits * b.Proc.Reduction,
+		Priority: priority,
+		ReadyAt:  receivedAt.Add(b.Proc.Latency),
+	}
+	heap.Push(&b.queue, p)
+	b.queuedBits += p.Bits
+}
+
+// QueuedBits returns the backlog waiting for uplink.
+func (b *Backhaul) QueuedBits() float64 { return b.queuedBits }
+
+// QueuedProducts returns how many products wait.
+func (b *Backhaul) QueuedProducts() int { return b.queue.Len() }
+
+// Drain advances the uplink to time `until`, returning everything that
+// finished reaching the cloud, in completion order. Products are uploaded
+// one at a time, highest priority first (ties: oldest ready first), each
+// occupying the link for Bits/RateBps seconds starting no earlier than its
+// ReadyAt.
+func (b *Backhaul) Drain(until time.Time) []Delivery {
+	var out []Delivery
+	for b.queue.Len() > 0 {
+		head := b.queue[0]
+		start := head.ReadyAt
+		if b.busyTil.After(start) {
+			start = b.busyTil
+		}
+		done := start.Add(time.Duration(head.Bits / b.RateBps * float64(time.Second)))
+		if done.After(until) {
+			break
+		}
+		heap.Pop(&b.queue)
+		b.queuedBits -= head.Bits
+		b.busyTil = done
+		out = append(out, Delivery{Product: head, CloudAt: done})
+	}
+	return out
+}
+
+// productHeap orders by (priority desc, ReadyAt asc, ChunkID asc).
+type productHeap []Product
+
+func (h productHeap) Len() int { return len(h) }
+func (h productHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	if !h[i].ReadyAt.Equal(h[j].ReadyAt) {
+		return h[i].ReadyAt.Before(h[j].ReadyAt)
+	}
+	return h[i].ChunkID < h[j].ChunkID
+}
+func (h productHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *productHeap) Push(x any)   { *h = append(*h, x.(Product)) }
+func (h *productHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,154 @@
+package edge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func mustBackhaul(t *testing.T, rate float64, proc Processor) *Backhaul {
+	t.Helper()
+	b, err := NewBackhaul(rate, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewBackhaul(0, Processor{Reduction: 1}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewBackhaul(1e6, Processor{Reduction: 0}); err == nil {
+		t.Error("zero reduction accepted")
+	}
+	if _, err := NewBackhaul(1e6, Processor{Reduction: 1.5}); err == nil {
+		t.Error("amplifying processor accepted")
+	}
+	if _, err := NewBackhaul(1e6, Processor{Reduction: 1, Latency: -time.Second}); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestPriorityFirstUpload(t *testing.T) {
+	b := mustBackhaul(t, 1e6, Processor{Reduction: 1})
+	b.Enqueue(0, 1, 1e6, 0, t0)  // bulk, 1 s of uplink
+	b.Enqueue(0, 2, 1e6, 10, t0) // urgent, same size
+	b.Enqueue(0, 3, 1e6, 0, t0)  // bulk
+
+	got := b.Drain(t0.Add(10 * time.Second))
+	if len(got) != 3 {
+		t.Fatalf("delivered %d products", len(got))
+	}
+	if got[0].Product.ChunkID != 2 {
+		t.Fatalf("urgent product delivered %dth", 1)
+	}
+	// Serialized uploads: completions 1 s apart.
+	for i, d := range got {
+		want := t0.Add(time.Duration(i+1) * time.Second)
+		if !d.CloudAt.Equal(want) {
+			t.Fatalf("delivery %d at %v, want %v", i, d.CloudAt, want)
+		}
+	}
+}
+
+func TestProcessingLatencyAndReduction(t *testing.T) {
+	b := mustBackhaul(t, 1e6, Processor{Reduction: 0.25, Latency: 2 * time.Second})
+	b.Enqueue(0, 1, 4e6, 0, t0) // shrinks to 1e6 bits = 1 s of uplink
+	if b.QueuedBits() != 1e6 {
+		t.Fatalf("queued %g bits after reduction", b.QueuedBits())
+	}
+	if got := b.Drain(t0.Add(2900 * time.Millisecond)); len(got) != 0 {
+		t.Fatal("delivered before processing+upload finished")
+	}
+	got := b.Drain(t0.Add(3100 * time.Millisecond))
+	if len(got) != 1 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	if want := t0.Add(3 * time.Second); !got[0].CloudAt.Equal(want) {
+		t.Fatalf("cloud at %v, want %v", got[0].CloudAt, want)
+	}
+}
+
+func TestDrainIncremental(t *testing.T) {
+	b := mustBackhaul(t, 1e6, Processor{Reduction: 1})
+	for i := 0; i < 5; i++ {
+		b.Enqueue(0, uint64(i), 1e6, 0, t0)
+	}
+	var all []Delivery
+	for dt := time.Second; dt <= 6*time.Second; dt += time.Second {
+		all = append(all, b.Drain(t0.Add(dt))...)
+	}
+	if len(all) != 5 {
+		t.Fatalf("delivered %d of 5", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].CloudAt.Before(all[i-1].CloudAt) {
+			t.Fatal("deliveries out of order")
+		}
+	}
+	if b.QueuedProducts() != 0 || b.QueuedBits() != 0 {
+		t.Fatal("queue not empty after full drain")
+	}
+}
+
+func TestBacklogWhenUplinkSlow(t *testing.T) {
+	// Raw streaming (reduction 1) over a thin pipe backs up — the paper's
+	// argument against VERGE-style raw RF backhaul.
+	thin := mustBackhaul(t, 1e5, Processor{Reduction: 1})
+	lean := mustBackhaul(t, 1e5, Processor{Reduction: 0.05})
+	for i := 0; i < 20; i++ {
+		thin.Enqueue(0, uint64(i), 1e6, 0, t0)
+		lean.Enqueue(0, uint64(i), 1e6, 0, t0)
+	}
+	horizon := t0.Add(30 * time.Second)
+	thinDone := len(thin.Drain(horizon))
+	leanDone := len(lean.Drain(horizon))
+	if thinDone >= leanDone {
+		t.Fatalf("raw backhaul (%d done) should lag edge-processed (%d done)", thinDone, leanDone)
+	}
+	if lean.QueuedBits() >= thin.QueuedBits() {
+		t.Fatal("edge processing should shrink the queue")
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := NewBackhaul(1e6, Processor{Reduction: 0.5})
+		if err != nil {
+			return false
+		}
+		queued := 0
+		delivered := 0
+		now := t0
+		for op := 0; op < 100; op++ {
+			if rng.Intn(2) == 0 {
+				b.Enqueue(rng.Intn(5), uint64(op), float64(1+rng.Intn(1000000)), float64(rng.Intn(3)), now)
+				queued++
+			} else {
+				now = now.Add(time.Duration(rng.Intn(5000)) * time.Millisecond)
+				got := b.Drain(now)
+				delivered += len(got)
+				for _, d := range got {
+					if d.CloudAt.After(now) {
+						return false // delivered from the future
+					}
+				}
+			}
+			if b.QueuedProducts() != queued-delivered {
+				return false
+			}
+			if b.QueuedBits() < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package fountain implements LT rateless erasure codes (Luby, FOCS 2002)
+// as the reliability layer for DGS's ack-free downlink. A receive-only
+// station cannot request retransmissions mid-pass, and LEO downlinks see
+// heavy loss (the paper cites up to 88% packet loss [8]); a fountain-coded
+// chunk can be reconstructed from *any* sufficiently large subset of the
+// droplets that survive, so the satellite never needs per-packet feedback —
+// only the chunk-level delayed acks of §3.3.
+//
+// Droplets are self-describing: the neighbor set is re-derived from the
+// droplet's sequence number and the stream seed, so no index list travels
+// on the wire.
+package fountain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Droplet is one encoded symbol: the XOR of a pseudo-random subset of
+// source blocks, identified by its sequence number.
+type Droplet struct {
+	// Seq selects the degree and neighbor set deterministically.
+	Seq uint64
+	// Data is the XOR of the selected source blocks (BlockSize bytes).
+	Data []byte
+}
+
+// Params fixes the code geometry shared by encoder and decoder.
+type Params struct {
+	// K is the number of source blocks.
+	K int
+	// BlockSize is the block length in bytes.
+	BlockSize int
+	// DataLen is the original (unpadded) payload length.
+	DataLen int
+	// Seed keys the degree/neighbor PRNG.
+	Seed uint64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.K <= 0:
+		return errors.New("fountain: K must be positive")
+	case p.BlockSize <= 0:
+		return errors.New("fountain: block size must be positive")
+	case p.DataLen < 0 || p.DataLen > p.K*p.BlockSize:
+		return fmt.Errorf("fountain: data length %d outside [0, %d]", p.DataLen, p.K*p.BlockSize)
+	}
+	return nil
+}
+
+// Encoder produces droplets for one payload.
+type Encoder struct {
+	p      Params
+	blocks [][]byte
+	dist   []float64 // cumulative robust-soliton distribution
+}
+
+// NewEncoder splits data into blockSize-byte blocks (zero-padded) and
+// prepares the droplet stream.
+func NewEncoder(data []byte, blockSize int, seed uint64) (*Encoder, error) {
+	if blockSize <= 0 {
+		return nil, errors.New("fountain: block size must be positive")
+	}
+	if len(data) == 0 {
+		return nil, errors.New("fountain: empty payload")
+	}
+	k := (len(data) + blockSize - 1) / blockSize
+	p := Params{K: k, BlockSize: blockSize, DataLen: len(data), Seed: seed}
+	blocks := make([][]byte, k)
+	for i := range blocks {
+		b := make([]byte, blockSize)
+		lo := i * blockSize
+		hi := lo + blockSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		copy(b, data[lo:hi])
+		blocks[i] = b
+	}
+	return &Encoder{p: p, blocks: blocks, dist: solitonCDF(k)}, nil
+}
+
+// Params returns the code geometry the decoder needs.
+func (e *Encoder) Params() Params { return e.p }
+
+// Droplet generates the droplet with the given sequence number. Droplets
+// are deterministic: the same (seed, seq) always yields the same symbol.
+func (e *Encoder) Droplet(seq uint64) Droplet {
+	idx := neighbors(e.p, e.dist, seq)
+	out := make([]byte, e.p.BlockSize)
+	for _, i := range idx {
+		xorInto(out, e.blocks[i])
+	}
+	return Droplet{Seq: seq, Data: out}
+}
+
+// Decoder reconstructs the payload from any sufficient droplet subset
+// using belief-propagation peeling.
+type Decoder struct {
+	p    Params
+	dist []float64
+
+	decoded  [][]byte // resolved source blocks (nil until known)
+	nDecoded int
+	// pending droplets not yet reduced to degree one.
+	pending []*pendingDroplet
+	// blockWaiters[i] lists pending droplets that still reference block i.
+	blockWaiters map[int][]*pendingDroplet
+	seen         map[uint64]bool
+}
+
+type pendingDroplet struct {
+	data    []byte
+	remain  map[int]bool
+	retired bool
+}
+
+// NewDecoder prepares a decoder for the given code geometry.
+func NewDecoder(p Params) (*Decoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{
+		p:            p,
+		dist:         solitonCDF(p.K),
+		decoded:      make([][]byte, p.K),
+		blockWaiters: make(map[int][]*pendingDroplet),
+		seen:         make(map[uint64]bool),
+	}, nil
+}
+
+// Add consumes a droplet and returns true once the payload is fully
+// decodable. Duplicate droplets are ignored. Droplets of the wrong size
+// are rejected.
+func (d *Decoder) Add(dr Droplet) (bool, error) {
+	if len(dr.Data) != d.p.BlockSize {
+		return d.Done(), fmt.Errorf("fountain: droplet size %d != block size %d", len(dr.Data), d.p.BlockSize)
+	}
+	if d.seen[dr.Seq] {
+		return d.Done(), nil
+	}
+	d.seen[dr.Seq] = true
+
+	pd := &pendingDroplet{
+		data:   append([]byte(nil), dr.Data...),
+		remain: make(map[int]bool),
+	}
+	for _, i := range neighbors(d.p, d.dist, dr.Seq) {
+		if d.decoded[i] != nil {
+			xorInto(pd.data, d.decoded[i])
+		} else {
+			pd.remain[i] = true
+		}
+	}
+	d.admit(pd)
+	return d.Done(), nil
+}
+
+// admit inserts a reduced droplet and runs the peeling cascade.
+func (d *Decoder) admit(pd *pendingDroplet) {
+	if len(pd.remain) == 0 {
+		return // fully redundant
+	}
+	if len(pd.remain) > 1 {
+		d.pending = append(d.pending, pd)
+		for i := range pd.remain {
+			d.blockWaiters[i] = append(d.blockWaiters[i], pd)
+		}
+		return
+	}
+	// Degree one: resolves a block; propagate.
+	var block int
+	for i := range pd.remain {
+		block = i
+	}
+	if d.decoded[block] != nil {
+		return
+	}
+	d.decoded[block] = pd.data
+	d.nDecoded++
+	waiters := d.blockWaiters[block]
+	delete(d.blockWaiters, block)
+	for _, w := range waiters {
+		if w.retired || !w.remain[block] {
+			continue
+		}
+		xorInto(w.data, pd.data)
+		delete(w.remain, block)
+		if len(w.remain) == 1 {
+			w.retired = true
+			d.admit(&pendingDroplet{data: w.data, remain: w.remain})
+		}
+	}
+}
+
+// Done reports whether every source block is known.
+func (d *Decoder) Done() bool { return d.nDecoded == d.p.K }
+
+// Progress returns the fraction of source blocks recovered.
+func (d *Decoder) Progress() float64 { return float64(d.nDecoded) / float64(d.p.K) }
+
+// Data returns the reconstructed payload. It fails until Done.
+func (d *Decoder) Data() ([]byte, error) {
+	if !d.Done() {
+		return nil, fmt.Errorf("fountain: only %d/%d blocks decoded", d.nDecoded, d.p.K)
+	}
+	out := make([]byte, 0, d.p.K*d.p.BlockSize)
+	for _, b := range d.decoded {
+		out = append(out, b...)
+	}
+	return out[:d.p.DataLen], nil
+}
+
+// ---- robust soliton degree distribution ----
+
+// Tuning constants from Luby's paper; c trades overhead for ripple safety.
+const (
+	solitonC     = 0.03
+	solitonDelta = 0.5
+)
+
+// solitonCDF builds the cumulative robust soliton distribution over
+// degrees 1..K.
+func solitonCDF(k int) []float64 {
+	if k == 1 {
+		return []float64{1}
+	}
+	kf := float64(k)
+	r := solitonC * math.Log(kf/solitonDelta) * math.Sqrt(kf)
+	spike := int(math.Round(kf / r))
+	if spike < 1 {
+		spike = 1
+	}
+	if spike > k {
+		spike = k
+	}
+	rho := make([]float64, k+1) // 1-indexed degrees
+	rho[1] = 1 / kf
+	for d := 2; d <= k; d++ {
+		rho[d] = 1 / (float64(d) * float64(d-1))
+	}
+	tau := make([]float64, k+1)
+	for d := 1; d < spike; d++ {
+		tau[d] = r / (float64(d) * kf)
+	}
+	tau[spike] = r * math.Log(r/solitonDelta) / kf
+	if tau[spike] < 0 {
+		tau[spike] = 0
+	}
+	total := 0.0
+	for d := 1; d <= k; d++ {
+		total += rho[d] + tau[d]
+	}
+	cdf := make([]float64, k)
+	acc := 0.0
+	for d := 1; d <= k; d++ {
+		acc += (rho[d] + tau[d]) / total
+		cdf[d-1] = acc
+	}
+	cdf[k-1] = 1
+	return cdf
+}
+
+// neighbors derives the deterministic neighbor set for a droplet.
+func neighbors(p Params, cdf []float64, seq uint64) []int {
+	st := splitmix(p.Seed ^ (seq+1)*0x9e3779b97f4a7c15)
+	u := st.float()
+	// Degree from the inverse CDF.
+	deg := 1
+	for deg < p.K && u > cdf[deg-1] {
+		deg++
+	}
+	// Sample deg distinct indices via partial Fisher-Yates over [0, K).
+	idx := make([]int, 0, deg)
+	chosen := make(map[int]int, deg) // sparse permutation
+	for j := 0; j < deg; j++ {
+		r := j + int(st.next()%uint64(p.K-j))
+		vj, okJ := chosen[j]
+		if !okJ {
+			vj = j
+		}
+		vr, okR := chosen[r]
+		if !okR {
+			vr = r
+		}
+		chosen[j], chosen[r] = vr, vj
+		idx = append(idx, chosen[j])
+	}
+	return idx
+}
+
+// splitmix is a tiny deterministic PRNG (SplitMix64).
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) float() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+func xorInto(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

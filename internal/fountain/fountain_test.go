@@ -1,0 +1,274 @@
+package fountain
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func payload(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// decodeSequential feeds droplets seq=0,1,2,… until done, returning how
+// many droplets were consumed.
+func decodeSequential(t *testing.T, e *Encoder, skip func(seq uint64) bool, maxDroplets int) (int, []byte) {
+	t.Helper()
+	d, err := NewDecoder(e.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for seq := uint64(0); seq < uint64(maxDroplets); seq++ {
+		if skip != nil && skip(seq) {
+			continue
+		}
+		used++
+		done, err := d.Add(e.Droplet(seq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			data, err := d.Data()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return used, data
+		}
+	}
+	t.Fatalf("did not decode within %d droplets (progress %.0f%%)", maxDroplets, 100*d.Progress())
+	return 0, nil
+}
+
+func TestRoundTripNoLoss(t *testing.T) {
+	orig := payload(100*1024, 1) // 100 KiB, K=100 blocks of 1 KiB
+	e, err := NewEncoder(orig, 1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used, got := decodeSequential(t, e, nil, 400)
+	if !bytes.Equal(got, orig) {
+		t.Fatal("decoded payload differs")
+	}
+	overhead := float64(used)/100 - 1
+	t.Logf("decoded K=100 after %d droplets (%.0f%% overhead)", used, overhead*100)
+	if overhead > 0.6 {
+		t.Errorf("overhead %.0f%% too high for an LT code at K=100", overhead*100)
+	}
+}
+
+func TestRoundTripHeavyLoss(t *testing.T) {
+	// The paper cites up to 88% packet loss on LEO downlinks [8]; a
+	// fountain stream shrugs: the receiver just needs enough survivors.
+	orig := payload(64*512, 2)
+	e, err := NewEncoder(orig, 512, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	lossy := func(seq uint64) bool { return rng.Float64() < 0.88 }
+	used, got := decodeSequential(t, e, lossy, 64*40)
+	if !bytes.Equal(got, orig) {
+		t.Fatal("decoded payload differs under 88% loss")
+	}
+	t.Logf("decoded K=64 from %d surviving droplets under 88%% loss", used)
+}
+
+func TestArbitraryDropletSubset(t *testing.T) {
+	// Any sufficiently large subset works — use high random seq numbers.
+	orig := payload(10*256, 4)
+	e, err := NewEncoder(orig, 256, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(e.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		done, err := d.Add(e.Droplet(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			got, err := d.Data()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, orig) {
+				t.Fatal("decoded payload differs")
+			}
+			return
+		}
+	}
+	t.Fatal("random droplet subset did not decode")
+}
+
+func TestUnpaddedLengthPreserved(t *testing.T) {
+	// Payload not a multiple of the block size: padding must be stripped.
+	orig := payload(1000, 6) // K=4 blocks of 300 → 1200 padded
+	e, err := NewEncoder(orig, 300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Params().K != 4 || e.Params().DataLen != 1000 {
+		t.Fatalf("params %+v", e.Params())
+	}
+	_, got := decodeSequential(t, e, nil, 200)
+	if !bytes.Equal(got, orig) {
+		t.Fatal("padding handling broken")
+	}
+}
+
+func TestDeterministicDroplets(t *testing.T) {
+	orig := payload(5*100, 8)
+	e1, _ := NewEncoder(orig, 100, 21)
+	e2, _ := NewEncoder(orig, 100, 21)
+	for seq := uint64(0); seq < 50; seq++ {
+		a, b := e1.Droplet(seq), e2.Droplet(seq)
+		if !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("droplet %d not deterministic", seq)
+		}
+	}
+	// Different seed: different stream.
+	e3, _ := NewEncoder(orig, 100, 22)
+	same := 0
+	for seq := uint64(0); seq < 50; seq++ {
+		if bytes.Equal(e1.Droplet(seq).Data, e3.Droplet(seq).Data) {
+			same++
+		}
+	}
+	if same > 25 {
+		t.Fatalf("%d/50 droplets identical across seeds", same)
+	}
+}
+
+func TestDuplicatesAndBadDroplets(t *testing.T) {
+	orig := payload(4*64, 9)
+	e, _ := NewEncoder(orig, 64, 3)
+	d, _ := NewDecoder(e.Params())
+	dr := e.Droplet(0)
+	if _, err := d.Add(dr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add(dr); err != nil {
+		t.Fatal("duplicate droplet errored")
+	}
+	if _, err := d.Add(Droplet{Seq: 99, Data: []byte{1, 2}}); err == nil {
+		t.Fatal("wrong-size droplet accepted")
+	}
+	if _, err := d.Data(); err == nil {
+		t.Fatal("Data before Done succeeded")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewEncoder(nil, 64, 1); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := NewEncoder([]byte{1}, 0, 1); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewDecoder(Params{K: 0, BlockSize: 1}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := NewDecoder(Params{K: 2, BlockSize: 4, DataLen: 100}); err == nil {
+		t.Error("oversized DataLen accepted")
+	}
+}
+
+func TestSingleBlockPayload(t *testing.T) {
+	orig := []byte("one block only")
+	e, err := NewEncoder(orig, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Params().K != 1 {
+		t.Fatalf("K = %d", e.Params().K)
+	}
+	_, got := decodeSequential(t, e, nil, 4)
+	if !bytes.Equal(got, orig) {
+		t.Fatal("single block round trip failed")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw uint16, blockRaw uint8) bool {
+		size := 1 + int(sizeRaw)%5000
+		block := 16 + int(blockRaw)%240
+		orig := payload(size, seed)
+		e, err := NewEncoder(orig, block, uint64(seed))
+		if err != nil {
+			return false
+		}
+		d, err := NewDecoder(e.Params())
+		if err != nil {
+			return false
+		}
+		for seq := uint64(0); seq < uint64(e.Params().K*30+30); seq++ {
+			done, err := d.Add(e.Droplet(seq))
+			if err != nil {
+				return false
+			}
+			if done {
+				got, err := d.Data()
+				return err == nil && bytes.Equal(got, orig)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadStatistics(t *testing.T) {
+	// Average decoding overhead across streams should be LT-like (tens of
+	// percent at K=200, not multiples).
+	orig := payload(200*256, 10)
+	total := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		e, _ := NewEncoder(orig, 256, uint64(trial))
+		used, _ := decodeSequential(t, e, nil, 200*10)
+		total += used
+	}
+	avg := float64(total) / trials / 200
+	t.Logf("mean decoding overhead at K=200: %.1f%%", (avg-1)*100)
+	if avg > 1.5 {
+		t.Errorf("mean overhead %.0f%% too high", (avg-1)*100)
+	}
+}
+
+func BenchmarkEncodeDroplet(b *testing.B) {
+	orig := payload(256*1024, 1)
+	e, _ := NewEncoder(orig, 1024, 1)
+	b.ReportAllocs()
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		e.Droplet(uint64(i))
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	orig := payload(100*1024, 1)
+	e, _ := NewEncoder(orig, 1024, 1)
+	var drops []Droplet
+	for seq := uint64(0); seq < 200; seq++ {
+		drops = append(drops, e.Droplet(seq))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, _ := NewDecoder(e.Params())
+		for _, dr := range drops {
+			if done, _ := d.Add(dr); done {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package orbit turns raw propagator states into the quantities the DGS
+// scheduler consumes: geodetic sub-points, observer look angles, and
+// satellite–ground-station passes (rise, culmination, set).
+package orbit
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/frames"
+	"dgs/internal/sgp4"
+)
+
+// Propagator produces an inertial (TEME) state at a given time. Both the
+// SGP4 and Kepler-J2 propagators satisfy it.
+type Propagator interface {
+	PropagateTo(t time.Time) (sgp4.State, error)
+}
+
+// Observation is the geometry between an observer and a satellite at an
+// instant.
+type Observation struct {
+	// Time of the observation.
+	Time time.Time
+	// Look holds azimuth, elevation and slant range from the observer.
+	Look frames.LookAngles
+	// SatGeodetic is the sub-satellite point with altitude.
+	SatGeodetic frames.Geodetic
+	// RangeRateKmS is the slant-range rate (positive = receding), estimated
+	// for Doppler bookkeeping.
+	RangeRateKmS float64
+}
+
+// Pass is a single contact window between a satellite and an observer.
+type Pass struct {
+	// Rise is the time elevation first exceeds the mask.
+	Rise time.Time
+	// Culmination is the time of maximum elevation.
+	Culmination time.Time
+	// Set is the time elevation falls back below the mask.
+	Set time.Time
+	// MaxElevationRad is the elevation at culmination.
+	MaxElevationRad float64
+}
+
+// Duration returns the pass length.
+func (p Pass) Duration() time.Duration { return p.Set.Sub(p.Rise) }
+
+// MaxElevationDeg returns the culmination elevation in degrees.
+func (p Pass) MaxElevationDeg() float64 { return p.MaxElevationRad * astro.Rad2Deg }
+
+// String implements fmt.Stringer.
+func (p Pass) String() string {
+	return fmt.Sprintf("pass %s → %s (%.1f min, max el %.1f°)",
+		p.Rise.Format(time.RFC3339), p.Set.Format(time.RFC3339),
+		p.Duration().Minutes(), p.MaxElevationDeg())
+}
+
+// ErrNoPass is returned by NextPass when no pass begins within the search
+// window.
+var ErrNoPass = errors.New("orbit: no pass in search window")
+
+// Observe computes the instantaneous geometry between an observer and the
+// satellite driven by prop at time t.
+func Observe(prop Propagator, observer frames.Geodetic, t time.Time) (Observation, error) {
+	st, err := prop.PropagateTo(t)
+	if err != nil {
+		return Observation{}, err
+	}
+	jd := astro.JulianDate(t)
+	ecef := frames.TEMEToECEF(st.PositionKm, jd)
+	look := frames.Look(observer, ecef)
+
+	// Numerical range rate over a 1-second baseline.
+	st2, err := prop.PropagateTo(t.Add(time.Second))
+	rr := 0.0
+	if err == nil {
+		ecef2 := frames.TEMEToECEF(st2.PositionKm, astro.JulianDate(t.Add(time.Second)))
+		rr = frames.Look(observer, ecef2).RangeKm - look.RangeKm
+	}
+	return Observation{
+		Time:         t,
+		Look:         look,
+		SatGeodetic:  frames.GeodeticFromECEF(ecef),
+		RangeRateKmS: rr,
+	}, nil
+}
+
+// PassOptions controls pass search.
+type PassOptions struct {
+	// MinElevationRad is the elevation mask; a pass exists while elevation
+	// exceeds it. Zero means the geometric horizon, as in the paper's graph
+	// construction rule ("elevation is greater than zero").
+	MinElevationRad float64
+	// CoarseStep is the scan step used to bracket horizon crossings.
+	// Defaults to 30 s, which cannot skip a LEO pass above a 0° mask.
+	CoarseStep time.Duration
+	// Refine is the bisection tolerance for rise/set times. Defaults to 1 s.
+	Refine time.Duration
+}
+
+func (o PassOptions) withDefaults() PassOptions {
+	if o.CoarseStep <= 0 {
+		o.CoarseStep = 30 * time.Second
+	}
+	if o.Refine <= 0 {
+		o.Refine = time.Second
+	}
+	return o
+}
+
+// NextPass finds the first pass of the satellite over the observer that
+// begins at or after start and before start+window. A pass already in
+// progress at start is reported with Rise = start.
+func NextPass(prop Propagator, observer frames.Geodetic, start time.Time, window time.Duration, opt PassOptions) (Pass, error) {
+	opt = opt.withDefaults()
+	elevationAt := func(t time.Time) (float64, error) {
+		obs, err := Observe(prop, observer, t)
+		if err != nil {
+			return 0, err
+		}
+		return obs.Look.ElevationRad - opt.MinElevationRad, nil
+	}
+
+	end := start.Add(window)
+	prevT := start
+	prevE, err := elevationAt(prevT)
+	if err != nil {
+		return Pass{}, err
+	}
+
+	var rise time.Time
+	haveRise := false
+	if prevE > 0 {
+		rise = start
+		haveRise = true
+	}
+
+	for t := start.Add(opt.CoarseStep); !t.After(end) || haveRise; t = t.Add(opt.CoarseStep) {
+		e, err := elevationAt(t)
+		if err != nil {
+			return Pass{}, err
+		}
+		switch {
+		case !haveRise && prevE <= 0 && e > 0:
+			r, err := bisect(elevationAt, prevT, t, opt.Refine, true)
+			if err != nil {
+				return Pass{}, err
+			}
+			rise = r
+			haveRise = true
+		case haveRise && prevE > 0 && e <= 0:
+			set, err := bisect(elevationAt, prevT, t, opt.Refine, false)
+			if err != nil {
+				return Pass{}, err
+			}
+			return finishPass(elevationAt, rise, set, opt)
+		}
+		prevT, prevE = t, e
+		// Safety: never chase a pass more than 30 minutes past the window.
+		if haveRise && t.After(end.Add(30*time.Minute)) {
+			break
+		}
+	}
+	if haveRise {
+		// Window ended mid-pass; report what we have.
+		return finishPass(elevationAt, rise, prevT, opt)
+	}
+	return Pass{}, ErrNoPass
+}
+
+// Passes returns every pass beginning in [start, start+window).
+func Passes(prop Propagator, observer frames.Geodetic, start time.Time, window time.Duration, opt PassOptions) ([]Pass, error) {
+	var out []Pass
+	t := start
+	end := start.Add(window)
+	for t.Before(end) {
+		p, err := NextPass(prop, observer, t, end.Sub(t), opt)
+		if errors.Is(err, ErrNoPass) {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+		t = p.Set.Add(time.Minute)
+	}
+	return out, nil
+}
+
+// finishPass locates the culmination between rise and set by golden-section
+// style sampling, then assembles the Pass.
+func finishPass(elev func(time.Time) (float64, error), rise, set time.Time, opt PassOptions) (Pass, error) {
+	best := rise
+	bestE := -1.0
+	n := int(set.Sub(rise)/opt.Refine) + 1
+	if n > 256 {
+		n = 256
+	}
+	if n < 2 {
+		n = 2
+	}
+	step := set.Sub(rise) / time.Duration(n)
+	for t := rise; !t.After(set); t = t.Add(step) {
+		e, err := elev(t)
+		if err != nil {
+			return Pass{}, err
+		}
+		if e > bestE {
+			bestE = e
+			best = t
+		}
+	}
+	return Pass{
+		Rise:            rise,
+		Culmination:     best,
+		Set:             set,
+		MaxElevationRad: bestE + opt.MinElevationRad,
+	}, nil
+}
+
+// bisect finds a zero crossing of f between lo and hi. rising selects the
+// below→above crossing direction.
+func bisect(f func(time.Time) (float64, error), lo, hi time.Time, tol time.Duration, rising bool) (time.Time, error) {
+	for hi.Sub(lo) > tol {
+		mid := lo.Add(hi.Sub(lo) / 2)
+		e, err := f(mid)
+		if err != nil {
+			return time.Time{}, err
+		}
+		above := e > 0
+		if above == rising {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// GroundTrack samples the sub-satellite point every step over a window,
+// producing the track the scheduler's station-cell pruning and Fig. 2-style
+// visualizations rely on.
+func GroundTrack(prop Propagator, start time.Time, window, step time.Duration) ([]frames.Geodetic, error) {
+	if step <= 0 {
+		step = time.Minute
+	}
+	var out []frames.Geodetic
+	for t := start; !t.After(start.Add(window)); t = t.Add(step) {
+		st, err := prop.PropagateTo(t)
+		if err != nil {
+			return out, err
+		}
+		jd := astro.JulianDate(t)
+		out = append(out, frames.GeodeticFromECEF(frames.TEMEToECEF(st.PositionKm, jd)))
+	}
+	return out, nil
+}

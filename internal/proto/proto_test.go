@@ -1,0 +1,258 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d leftover bytes", buf.Len())
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := &Hello{StationID: 42, TxCapable: true, Name: "svalbard"}
+	got := roundTrip(t, in).(*Hello)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestChunkReportRoundTrip(t *testing.T) {
+	now := time.Date(2020, 6, 1, 12, 0, 0, 12345, time.UTC)
+	in := &ChunkReport{
+		StationID: 7,
+		Sat:       133,
+		Chunks: []ChunkInfo{
+			{ID: 1, Bits: 8e8, Captured: now.Add(-time.Hour), Received: now},
+			{ID: 99, Bits: 123, Captured: now.Add(-2 * time.Hour), Received: now.Add(time.Second)},
+		},
+	}
+	got := roundTrip(t, in).(*ChunkReport)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestEmptyChunkReport(t *testing.T) {
+	in := &ChunkReport{StationID: 1, Sat: 2, Chunks: []ChunkInfo{}}
+	got := roundTrip(t, in).(*ChunkReport)
+	if got.StationID != 1 || got.Sat != 2 || len(got.Chunks) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAckDigestRoundTrip(t *testing.T) {
+	in := &AckDigest{Sat: 5, ChunkIDs: []uint64{1, 2, 3, 1 << 60}}
+	got := roundTrip(t, in).(*AckDigest)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	in := &Schedule{
+		Version: 9,
+		Issued:  time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC),
+		SlotDur: time.Minute,
+		Slots: []Slot{
+			{Assignments: []Assignment{{Sat: 1, Station: 2, RateBps: 1e8}}},
+			{Assignments: nil},
+			{Assignments: []Assignment{{Sat: 3, Station: 4, RateBps: 5e7}, {Sat: 5, Station: 6, RateBps: 2e8}}},
+		},
+	}
+	got := roundTrip(t, in).(*Schedule)
+	if got.Version != in.Version || !got.Issued.Equal(in.Issued) || got.SlotDur != in.SlotDur {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Slots) != 3 || len(got.Slots[0].Assignments) != 1 ||
+		len(got.Slots[1].Assignments) != 0 || len(got.Slots[2].Assignments) != 2 {
+		t.Fatalf("slots mismatch: %+v", got.Slots)
+	}
+	if got.Slots[2].Assignments[1] != in.Slots[2].Assignments[1] {
+		t.Fatal("assignment mismatch")
+	}
+}
+
+func TestOKAndErrorRoundTrip(t *testing.T) {
+	if _, ok := roundTrip(t, &OK{}).(*OK); !ok {
+		t.Fatal("OK did not round trip")
+	}
+	e := roundTrip(t, &Error{Msg: "station offline"}).(*Error)
+	if e.Msg != "station offline" {
+		t.Fatalf("error msg %q", e.Msg)
+	}
+	if e.Error() == "" {
+		t.Fatal("Error() empty")
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Hello{StationID: 1, Name: "a"},
+		&AckDigest{Sat: 2, ChunkIDs: []uint64{9}},
+		&OK{},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("frame %d: type %d want %d", i, got.Type(), want.Type())
+		}
+	}
+	if _, err := Read(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Hello{StationID: 77, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip a payload byte: CRC must catch it.
+	cp := append([]byte(nil), raw...)
+	cp[9] ^= 0xFF
+	if _, err := Read(bytes.NewReader(cp)); !errors.Is(err, ErrBadCRC) && !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("corrupted frame accepted: %v", err)
+	}
+
+	// Break the magic.
+	cp = append([]byte(nil), raw...)
+	cp[0] = 0
+	if _, err := Read(bytes.NewReader(cp)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+
+	// Truncate mid-payload.
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	// A forged header advertising a giant frame must be rejected before any
+	// large allocation.
+	var hdr bytes.Buffer
+	hdr.Write([]byte{0x0D, 0x65, byte(TypeHello)})
+	hdr.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Read(&hdr); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize frame accepted: %v", err)
+	}
+}
+
+func TestLengthLiesRejected(t *testing.T) {
+	// A ChunkReport claiming more chunks than the payload holds.
+	r := &ChunkReport{StationID: 1, Sat: 1}
+	payload := r.appendPayload(nil)
+	// Overwrite the count field with a huge value.
+	payload[8] = 0xFF
+	payload[9] = 0xFF
+	payload[10] = 0xFF
+	payload[11] = 0xFF
+	var fresh ChunkReport
+	if err := fresh.decodePayload(payload); err == nil {
+		t.Fatal("lying count accepted")
+	}
+}
+
+func TestChunkReportPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := &ChunkReport{
+			StationID: rng.Uint32(),
+			Sat:       rng.Uint32(),
+		}
+		n := rng.Intn(50)
+		for i := 0; i < n; i++ {
+			in.Chunks = append(in.Chunks, ChunkInfo{
+				ID:       rng.Uint64(),
+				Bits:     rng.Uint64() % (1 << 40),
+				Captured: time.Unix(0, rng.Int63()).UTC(),
+				Received: time.Unix(0, rng.Int63()).UTC(),
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		out := got.(*ChunkReport)
+		if out.StationID != in.StationID || out.Sat != in.Sat || len(out.Chunks) != len(in.Chunks) {
+			return false
+		}
+		for i := range in.Chunks {
+			if in.Chunks[i] != out.Chunks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &OK{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[2] = 200 // unknown type; fix the CRC accordingly is too fiddly, so
+	// expect either unknown-type or CRC error — both reject.
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func BenchmarkWriteReadChunkReport(b *testing.B) {
+	in := &ChunkReport{StationID: 1, Sat: 2}
+	for i := 0; i < 100; i++ {
+		in.Chunks = append(in.Chunks, ChunkInfo{
+			ID: uint64(i), Bits: 8e8,
+			Captured: time.Unix(0, 1), Received: time.Unix(0, 2),
+		})
+	}
+	b.ReportAllocs()
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, in); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,618 @@
+// Package sim is the time-stepped constellation simulator that reproduces
+// the paper's evaluation (§4). It ties together the orbit propagator, the
+// link-quality model, the weather substrate, the DGS scheduler, and the
+// hybrid ack-free downlink protocol:
+//
+//   - The scheduler plans on *forecast* weather every planning epoch.
+//   - A satellite only adopts a new plan while in contact with a
+//     transmit-capable station (the hybrid constraint of §3).
+//   - Receive-only stations relay chunk receipts to the backend over the
+//     Internet (modeled delay); the backend collates them into cumulative
+//     acks that reach the satellite at its next TX contact; only then is
+//     on-board storage freed (§3.3).
+//   - If the planned (forecast-derived) MODCOD overshoots the true channel,
+//     the slot's transmission is lost and must be retransmitted.
+//
+// The baseline of §4 runs in the same engine with Hybrid=false: five
+// six-channel stations, closed-loop (truth) rate selection, immediate acks.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/core"
+	"dgs/internal/frames"
+	"dgs/internal/linkbudget"
+	"dgs/internal/metrics"
+	"dgs/internal/satellite"
+	"dgs/internal/sgp4"
+	"dgs/internal/station"
+	"dgs/internal/tle"
+	"dgs/internal/weather"
+)
+
+// GB is one gigabyte in bits, the unit the paper reports backlog in.
+const GB = 8e9
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Start is the simulation start time; TLE epochs should be near it.
+	Start time.Time
+	// Duration is the simulated span (paper: multi-day).
+	Duration time.Duration
+	// Step is the matching slot length. Default 60 s.
+	Step time.Duration
+	// PlanEvery is the scheduler epoch interval. Default 30 min.
+	PlanEvery time.Duration
+	// PlanHorizon is how far each plan reaches. Default 12 h. Must be
+	// ≥ PlanEvery or satellites run off the end of fresh plans.
+	PlanHorizon time.Duration
+	// Stations is the ground network.
+	Stations station.Network
+	// TLEs is the constellation.
+	TLEs []tle.TLE
+	// Radio is the satellites' transmit side. Zero value = DefaultRadio.
+	Radio linkbudget.Radio
+	// Value is Φ; nil = latency-optimized.
+	Value core.ValueFunc
+	// Matcher is the matching algorithm; nil = stable matching.
+	Matcher core.Matcher
+	// WeatherSeed seeds the synthetic weather truth. ClearSky disables
+	// weather entirely (ablation).
+	WeatherSeed uint64
+	ClearSky    bool
+	// ForecastErr is the saturated forecast error fraction [0,1].
+	ForecastErr float64
+	// GenBitsPerDay is per-satellite capture volume (paper: 100 GB/day).
+	GenBitsPerDay float64
+	// ChunkBits is the capture granularity. Default 100 MB.
+	ChunkBits float64
+	// Hybrid selects DGS semantics (plan uploads and delayed acks through
+	// TX stations). False = centralized baseline semantics.
+	Hybrid bool
+	// AckDelay is the Internet relay delay from a receive-only station to
+	// the backend. Default 10 s.
+	AckDelay time.Duration
+	// UplinkRateBps is the narrowband S-band TT&C rate carrying plans and
+	// ack digests during TX contacts (§2: "only hundreds of Kbps uplink").
+	// Default linkbudget.UplinkRateBps. Plans and digests consume real
+	// uplink time; a satellite adopts a plan only once fully received.
+	UplinkRateBps float64
+	// DaylightImaging gates capture on the satellite being over the sunlit
+	// hemisphere (visible-band EO realism). The paper's flat 100 GB/day is
+	// the default (false); enabling this roughly halves the volume.
+	DaylightImaging bool
+	// EventsPerSatPerDay injects high-priority captures (the paper's flood
+	// and forest-fire motivation, §1/§3): each event is EventBits of
+	// priority data whose delivery latency is tracked separately.
+	EventsPerSatPerDay float64
+	// EventBits is the size of one event capture. Default 1 GB.
+	EventBits float64
+	// Progress, when non-nil, is called once per simulated day.
+	Progress func(day int, r *Result)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Step <= 0 {
+		c.Step = time.Minute
+	}
+	if c.PlanEvery <= 0 {
+		c.PlanEvery = 30 * time.Minute
+	}
+	if c.PlanHorizon <= 0 {
+		// Long enough that a satellite's held plan survives the typical gap
+		// between transmit-capable contacts (several orbits). The paper's
+		// satellites receive "a plan for the data-dump as the satellite
+		// orbits around the Earth"; they are never left planless.
+		c.PlanHorizon = 12 * time.Hour
+	}
+	if c.PlanHorizon < c.PlanEvery {
+		c.PlanHorizon = c.PlanEvery
+	}
+	if c.Radio.FreqGHz == 0 {
+		c.Radio = linkbudget.DefaultRadio()
+	}
+	if c.GenBitsPerDay == 0 {
+		c.GenBitsPerDay = 100 * GB
+	}
+	if c.ChunkBits == 0 {
+		c.ChunkBits = 0.1 * GB
+	}
+	if c.AckDelay <= 0 {
+		c.AckDelay = 10 * time.Second
+	}
+	if c.UplinkRateBps <= 0 {
+		c.UplinkRateBps = linkbudget.UplinkRateBps
+	}
+	if c.EventBits <= 0 {
+		c.EventBits = 1 * GB
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return c
+}
+
+// Result aggregates the distributions the paper's figures report.
+type Result struct {
+	// BacklogGB samples per-satellite, per-day undelivered data (Fig. 3a).
+	BacklogGB metrics.Dist
+	// LatencyMin samples capture→reception latency per chunk (Fig. 3b/3c).
+	LatencyMin metrics.Dist
+	// PeakStorageGB samples per-satellite peak on-board storage — the §3.3
+	// storage-requirement discussion, one sample per satellite at the end.
+	PeakStorageGB metrics.Dist
+	// EventLatencyMin samples capture→reception latency for injected
+	// high-priority event data only.
+	EventLatencyMin metrics.Dist
+	// Totals.
+	GeneratedGB, DeliveredGB, LostGB float64
+	// TxContacts counts uplink opportunities used; PlanUploads counts plan
+	// adoptions (hybrid only).
+	TxContacts, PlanUploads int
+	// SlotsMatched counts satellite-slots with an executed transfer.
+	SlotsMatched int
+	// SlotsMispredicted counts transfers lost to forecast-driven MODCOD
+	// overshoot.
+	SlotsMispredicted int
+	// SlotsStale counts slots where a satellite's held plan disagreed with
+	// the station's current plan (hybrid fragility).
+	SlotsStale int
+}
+
+// satRuntime is a satellite's live state inside the simulation.
+type satRuntime struct {
+	prop  *sgp4.Propagator
+	store *satellite.Store
+
+	heldPlan *core.Plan // the plan on board (hybrid)
+	txTime   map[satellite.ChunkID]time.Time
+	// eventIDs marks injected high-priority chunks for separate latency
+	// accounting; nextEvent is the next injection time.
+	eventIDs  map[satellite.ChunkID]bool
+	nextEvent time.Time
+
+	// Uplink download progress toward adopting a newer plan. Switching to
+	// a still-newer plan mid-download restarts the transfer.
+	upVersion int
+	upBits    float64
+}
+
+// planWireBits estimates the uplink size of the slice of a plan one
+// satellite needs: a header plus one 16-byte record per assigned slot.
+func planWireBits(p *core.Plan, sat int) float64 {
+	const headerBits = 64 * 8
+	const recordBits = 16 * 8
+	n := 0
+	for _, slot := range p.Slots {
+		for _, a := range slot.Assignments {
+			if a.Sat == sat {
+				n++
+				break
+			}
+		}
+	}
+	return headerBits + float64(n)*recordBits
+}
+
+// chunkRx is a backend record of a received chunk.
+type chunkRx struct {
+	receivedAt time.Time
+	bits       float64
+	captured   time.Time
+}
+
+// Run executes the simulation and returns the aggregated result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Stations) == 0 || len(cfg.TLEs) == 0 {
+		return nil, fmt.Errorf("sim: need stations and satellites")
+	}
+	if err := cfg.Stations.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.Hybrid && len(cfg.Stations.TxStations()) == 0 {
+		return nil, fmt.Errorf("sim: hybrid run requires at least one TX-capable station")
+	}
+
+	// Weather: truth field + forecast view for the scheduler.
+	var truth weather.Provider = weather.Clear{}
+	var fc *weather.Forecast
+	if !cfg.ClearSky {
+		field := weather.NewField(cfg.WeatherSeed)
+		truth = field
+		fc = weather.NewForecast(field, cfg.ForecastErr)
+	}
+
+	sched := &core.Scheduler{
+		Radio:    cfg.Radio,
+		Stations: cfg.Stations,
+		Value:    cfg.Value,
+		Match:    cfg.Matcher,
+		Forecast: fc,
+	}
+
+	// Satellites.
+	sats := make([]*satRuntime, 0, len(cfg.TLEs))
+	genRate := cfg.GenBitsPerDay / 86400.0
+	for i, el := range cfg.TLEs {
+		p, err := sgp4.New(el)
+		if err != nil {
+			return nil, fmt.Errorf("sim: satellite %d: %w", i, err)
+		}
+		st := satellite.NewStore(el.Name, genRate, cfg.ChunkBits)
+		st.Generate(cfg.Start)
+		sr := &satRuntime{
+			prop:     p,
+			store:    st,
+			txTime:   make(map[satellite.ChunkID]time.Time),
+			eventIDs: make(map[satellite.ChunkID]bool),
+		}
+		if cfg.EventsPerSatPerDay > 0 {
+			// Deterministic stagger: satellite i's first event arrives i
+			// fractional periods into the day.
+			period := time.Duration(86400/cfg.EventsPerSatPerDay) * time.Second
+			sr.nextEvent = cfg.Start.Add(time.Duration(i%97) * period / 97)
+		}
+		sats = append(sats, sr)
+	}
+
+	// Backend state: per satellite, chunks received on the ground and the
+	// subset already acked to the satellite.
+	received := make([]map[satellite.ChunkID]chunkRx, len(sats))
+	acked := make([]map[satellite.ChunkID]bool, len(sats))
+	receivedBits := make([]float64, len(sats))
+	for i := range received {
+		received[i] = make(map[satellite.ChunkID]chunkRx)
+		acked[i] = make(map[satellite.ChunkID]bool)
+	}
+
+	res := &Result{}
+	var latestPlan *core.Plan
+	nextPlan := cfg.Start
+	end := cfg.Start.Add(cfg.Duration)
+	day := 0
+	nextDayMark := cfg.Start.Add(24 * time.Hour)
+
+	snapshot := func(now time.Time) []core.SatSnapshot {
+		out := make([]core.SatSnapshot, len(sats))
+		for i, s := range sats {
+			pending := s.store.GeneratedBits() - receivedBits[i]
+			if pending < 0 {
+				pending = 0
+			}
+			age := time.Duration(0)
+			if when, ok := s.store.OldestPending(); ok {
+				age = now.Sub(when)
+			}
+			out[i] = core.SatSnapshot{
+				Prop:        s.prop,
+				PendingBits: pending,
+				OldestAge:   age,
+			}
+		}
+		return out
+	}
+
+	txStations := cfg.Stations.TxStations()
+
+	stepSec := cfg.Step.Seconds()
+	ecefs := make([]frames.Vec3, len(sats))
+	ecefOK := make([]bool, len(sats))
+	for now := cfg.Start; now.Before(end); now = now.Add(cfg.Step) {
+		// 0. Propagate every satellite once for this slot.
+		jd := astro.JulianDate(now)
+		for i, s := range sats {
+			st, err := s.prop.PropagateTo(now)
+			if err != nil {
+				ecefOK[i] = false
+				continue
+			}
+			ecefs[i] = frames.TEMEToECEF(st.PositionKm, jd)
+			ecefOK[i] = true
+		}
+		// txVisible: the satellite is above the elevation mask of some
+		// transmit-capable station (an uplink opportunity: plan upload +
+		// cumulative acks on the low-rate S-band side channel).
+		txVisible := func(i int) bool {
+			if !ecefOK[i] {
+				return false
+			}
+			for _, gs := range txStations {
+				if frames.Look(gs.Location, ecefs[i]).ElevationRad > gs.MinElevationRad {
+					return true
+				}
+			}
+			return false
+		}
+
+		// 1. Capture new imagery. With DaylightImaging the imager only runs
+		// while the satellite is over the sunlit hemisphere: the position
+		// vector has a positive component toward the Sun. The sun vector is
+		// in TEME; compare against the TEME position (rotate back).
+		var sunX, sunY, sunZ float64
+		if cfg.DaylightImaging {
+			sunX, sunY, sunZ = astro.SunDirection(jd)
+		}
+		for i, s := range sats {
+			if cfg.DaylightImaging {
+				if !ecefOK[i] {
+					s.store.Skip(now)
+					continue
+				}
+				teme := frames.ECEFToTEME(ecefs[i], jd)
+				if teme.X*sunX+teme.Y*sunY+teme.Z*sunZ <= 0 {
+					s.store.Skip(now)
+					continue
+				}
+			}
+			s.store.Generate(now)
+		}
+		// High-priority event injection.
+		if cfg.EventsPerSatPerDay > 0 {
+			period := time.Duration(86400/cfg.EventsPerSatPerDay) * time.Second
+			for _, s := range sats {
+				for !s.nextEvent.IsZero() && !now.Before(s.nextEvent) {
+					id := s.store.AddChunk(s.nextEvent, cfg.EventBits, 10)
+					s.eventIDs[id] = true
+					s.nextEvent = s.nextEvent.Add(period)
+				}
+			}
+		}
+
+		// 2. Re-plan at epochs.
+		if !now.Before(nextPlan) {
+			latestPlan = sched.PlanEpoch(snapshot(now), now, cfg.PlanHorizon, cfg.Step, genRate)
+			nextPlan = now.Add(cfg.PlanEvery)
+			if !cfg.Hybrid {
+				// Centralized baseline: satellites always hold the latest plan.
+				for _, s := range sats {
+					s.heldPlan = latestPlan
+				}
+			}
+		}
+
+		// 3. Execute the slot. Every satellite acts on the plan it holds.
+		// The backend knows which plan version each satellite holds (it
+		// observed the TX contact that delivered it), so each station
+		// points at the satellite claiming it under the *newest* held plan;
+		// when two satellites on different plan versions claim one station,
+		// the older claim transmits into a dish pointed elsewhere and the
+		// data is lost (retransmitted after the nack timeout).
+		type claim struct {
+			sat     int
+			rate    float64
+			version int
+		}
+		claims := make(map[int][]claim) // station -> claimants
+		for i, s := range sats {
+			satPlan := s.heldPlan
+			if !cfg.Hybrid {
+				satPlan = latestPlan
+			}
+			gsIdx, plannedRate := satPlan.AssignmentFor(i, now)
+			if gsIdx < 0 {
+				continue
+			}
+			v := 0
+			if satPlan != nil {
+				v = satPlan.Version
+			}
+			claims[gsIdx] = append(claims[gsIdx], claim{sat: i, rate: plannedRate, version: v})
+		}
+		served := make(map[int]bool) // satellites a station listens to
+		for gsIdx, cs := range claims {
+			capacity := cfg.Stations[gsIdx].Capacity()
+			// Newest plan version wins; deterministic tie-break on index.
+			for k := 0; k < capacity && len(cs) > 0; k++ {
+				best := 0
+				for x := 1; x < len(cs); x++ {
+					if cs[x].version > cs[best].version ||
+						(cs[x].version == cs[best].version && cs[x].sat < cs[best].sat) {
+						best = x
+					}
+				}
+				served[cs[best].sat] = true
+				cs = append(cs[:best], cs[best+1:]...)
+			}
+		}
+		for i, s := range sats {
+			satPlan := s.heldPlan
+			if !cfg.Hybrid {
+				satPlan = latestPlan
+			}
+			gsIdx, plannedRate := satPlan.AssignmentFor(i, now)
+			if gsIdx < 0 {
+				continue
+			}
+			listening := served[i]
+			gs := cfg.Stations[gsIdx]
+
+			// Truth channel at this instant.
+			if !ecefOK[i] {
+				continue
+			}
+			look := frames.Look(gs.Location, ecefs[i])
+			if look.ElevationRad <= gs.MinElevationRad {
+				continue
+			}
+			w := truth.At(gs.Location.LatRad, gs.Location.LonRad, now)
+			geo := linkbudget.Geometry{
+				RangeKm:         look.RangeKm,
+				ElevationRad:    look.ElevationRad,
+				StationLatRad:   gs.Location.LatRad,
+				StationHeightKm: gs.Location.AltKm,
+			}
+			actualRate := linkbudget.RateBps(cfg.Radio, gs.EffectiveTerminal(), geo, linkbudget.Conditions{
+				RainMmH: w.RainMmH, CloudKgM2: w.CloudKgM2,
+			})
+
+			txRate := plannedRate
+			decodable := true
+			if cfg.Hybrid {
+				// Open loop: the satellite uses the planned MODCOD. If the
+				// true channel is worse, the frames do not decode. If the
+				// station is pointed at a newer-plan satellite, nothing is
+				// listening at all.
+				if plannedRate > actualRate {
+					decodable = false
+				}
+				if !listening {
+					decodable = false
+				}
+			} else {
+				// Closed loop: receiver feedback picks the survivable rate.
+				txRate = actualRate
+				decodable = actualRate > 0 && listening
+			}
+			if txRate <= 0 {
+				continue
+			}
+
+			sent := s.store.Transmit(txRate * stepSec)
+			if len(sent) == 0 {
+				continue
+			}
+			res.SlotsMatched++
+			var sentBits float64
+			for _, c := range sent {
+				sentBits += c.Bits
+				s.txTime[c.ID] = now
+			}
+			if !decodable {
+				// Energy spent, nothing lands. Chunks sit in-flight until
+				// the ack machinery times them out back to pending.
+				if listening {
+					res.SlotsMispredicted++
+				} else {
+					res.SlotsStale++
+				}
+				res.LostGB += sentBits / GB
+				continue
+			}
+			endOfSlot := now.Add(cfg.Step)
+			for _, c := range sent {
+				received[i][c.ID] = chunkRx{receivedAt: endOfSlot, bits: c.Bits, captured: c.Captured}
+				receivedBits[i] += c.Bits
+				lat := endOfSlot.Sub(c.Captured).Minutes()
+				res.LatencyMin.Add(lat)
+				if s.eventIDs[c.ID] {
+					res.EventLatencyMin.Add(lat)
+				}
+			}
+			res.DeliveredGB += sentBits / GB
+			if !cfg.Hybrid {
+				// Immediate acks over the station's own uplink.
+				ids := make([]satellite.ChunkID, len(sent))
+				for k, c := range sent {
+					ids[k] = c.ID
+				}
+				s.store.Ack(ids)
+				for _, id := range ids {
+					acked[i][id] = true
+					delete(s.txTime, id)
+				}
+			}
+		}
+
+		// 4. Hybrid control plane: plan uploads, delayed acks, loss nacks.
+		if cfg.Hybrid {
+			for i, s := range sats {
+				if !txVisible(i) {
+					continue
+				}
+				res.TxContacts++
+				// The S-band uplink budget for this slot pays for the ack
+				// digest first, then plan download; a plan is adopted only
+				// once fully received (possibly across several contacts).
+				upBudget := cfg.UplinkRateBps * stepSec
+
+				// Cumulative acks: everything the backend has had for at
+				// least AckDelay.
+				var ids []satellite.ChunkID
+				for id, rx := range received[i] {
+					if !acked[i][id] && !rx.receivedAt.After(now.Add(-cfg.AckDelay)) {
+						ids = append(ids, id)
+					}
+				}
+				if len(ids) > 0 {
+					digestBits := 96*8 + float64(len(ids))*64
+					if digestBits > upBudget {
+						// Partial digest: ack as many as fit.
+						fit := int((upBudget - 96*8) / 64)
+						if fit < 0 {
+							fit = 0
+						}
+						ids = ids[:fit]
+						digestBits = upBudget
+					}
+					upBudget -= digestBits
+					s.store.Ack(ids)
+					for _, id := range ids {
+						acked[i][id] = true
+						delete(s.txTime, id)
+					}
+				}
+				// Plan download.
+				if latestPlan != nil && (s.heldPlan == nil || latestPlan.Version > s.heldPlan.Version) {
+					if s.upVersion != latestPlan.Version {
+						s.upVersion = latestPlan.Version
+						s.upBits = 0
+					}
+					s.upBits += upBudget
+					if s.upBits >= planWireBits(latestPlan, i) {
+						s.heldPlan = latestPlan
+						s.upBits = 0
+						res.PlanUploads++
+					}
+				}
+				// Negative acks: chunks transmitted long enough ago that a
+				// report would have arrived were they received.
+				lossDeadline := now.Add(-cfg.AckDelay - 2*cfg.Step)
+				var lost []satellite.ChunkID
+				for id, at := range s.txTime {
+					if _, ok := received[i][id]; ok {
+						continue
+					}
+					if at.Before(lossDeadline) {
+						lost = append(lost, id)
+					}
+				}
+				if len(lost) > 0 {
+					s.store.Nack(lost)
+					for _, id := range lost {
+						delete(s.txTime, id)
+					}
+				}
+			}
+		}
+
+		// 5. Daily accounting.
+		if !now.Add(cfg.Step).Before(nextDayMark) {
+			day++
+			for i, s := range sats {
+				res.BacklogGB.Add((s.store.GeneratedBits() - receivedBits[i]) / GB)
+			}
+			res.GeneratedGB = 0
+			for _, s := range sats {
+				res.GeneratedGB += s.store.GeneratedBits() / GB
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(day, res)
+			}
+			nextDayMark = nextDayMark.Add(24 * time.Hour)
+		}
+	}
+
+	res.GeneratedGB = 0
+	for _, s := range sats {
+		res.GeneratedGB += s.store.GeneratedBits() / GB
+		res.PeakStorageGB.Add(s.store.PeakStoredBits() / GB)
+		if err := s.store.CheckConservation(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

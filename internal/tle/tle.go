@@ -1,0 +1,359 @@
+// Package tle parses, validates, and formats NORAD Two-Line Element sets —
+// the standard representation for satellite orbits that DGS satellites are
+// described by (paper §3.1, reference [18]).
+//
+// The package is strict on read (checksums, line numbers, field ranges are
+// all validated) and canonical on write: Format followed by Parse is the
+// identity on the fields that matter.
+package tle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"dgs/internal/astro"
+)
+
+// TLE is a parsed two-line element set. Angles are kept in degrees and mean
+// motion in revolutions per day — the native TLE units — and converted by
+// consumers (the SGP4 initializer) as needed.
+type TLE struct {
+	// Name is the optional title line (line 0), trimmed.
+	Name string
+	// NoradID is the catalog number.
+	NoradID int
+	// Classification is 'U', 'C' or 'S'.
+	Classification byte
+	// IntlDesignator is the launch designator, e.g. "98067A".
+	IntlDesignator string
+	// Epoch is the element set epoch (UTC).
+	Epoch time.Time
+	// NDot is the first derivative of mean motion / 2 in rev/day².
+	NDot float64
+	// NDDot is the second derivative of mean motion / 6 in rev/day³.
+	NDDot float64
+	// BStar is the SGP4 drag term in 1/Earth-radii.
+	BStar float64
+	// ElementSetNo is the element set number.
+	ElementSetNo int
+	// InclinationDeg is the orbit inclination in degrees [0, 180].
+	InclinationDeg float64
+	// RAANDeg is the right ascension of the ascending node in degrees [0, 360).
+	RAANDeg float64
+	// Eccentricity is the orbital eccentricity [0, 1).
+	Eccentricity float64
+	// ArgPerigeeDeg is the argument of perigee in degrees [0, 360).
+	ArgPerigeeDeg float64
+	// MeanAnomalyDeg is the mean anomaly in degrees [0, 360).
+	MeanAnomalyDeg float64
+	// MeanMotion is revolutions per day.
+	MeanMotion float64
+	// RevNumber is the revolution number at epoch.
+	RevNumber int
+}
+
+// Common parse errors.
+var (
+	ErrLineLength = errors.New("tle: line must be 69 characters")
+	ErrChecksum   = errors.New("tle: checksum mismatch")
+	ErrLineNumber = errors.New("tle: wrong line number")
+)
+
+// Checksum computes the TLE modulo-10 checksum of the first 68 characters:
+// digits count their value and '-' counts 1.
+func Checksum(line string) int {
+	sum := 0
+	n := len(line)
+	if n > 68 {
+		n = 68
+	}
+	for i := 0; i < n; i++ {
+		c := line[i]
+		switch {
+		case c >= '0' && c <= '9':
+			sum += int(c - '0')
+		case c == '-':
+			sum++
+		}
+	}
+	return sum % 10
+}
+
+// Parse parses a TLE from two or three lines of text. A leading title line
+// is used as the Name when present.
+func Parse(text string) (TLE, error) {
+	var lines []string
+	for _, l := range strings.Split(text, "\n") {
+		l = strings.TrimRight(l, "\r \t")
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	switch len(lines) {
+	case 2:
+		return ParseLines("", lines[0], lines[1])
+	case 3:
+		return ParseLines(strings.TrimSpace(lines[0]), lines[1], lines[2])
+	default:
+		return TLE{}, fmt.Errorf("tle: expected 2 or 3 lines, got %d", len(lines))
+	}
+}
+
+// ParseLines parses the two element lines with an explicit name.
+func ParseLines(name, line1, line2 string) (TLE, error) {
+	var t TLE
+	t.Name = name
+	if err := checkLine(line1, '1'); err != nil {
+		return t, fmt.Errorf("line 1: %w", err)
+	}
+	if err := checkLine(line2, '2'); err != nil {
+		return t, fmt.Errorf("line 2: %w", err)
+	}
+
+	var err error
+	fail := func(field string, e error) (TLE, error) {
+		return t, fmt.Errorf("tle: parsing %s: %w", field, e)
+	}
+
+	if t.NoradID, err = atoi(line1[2:7]); err != nil {
+		return fail("catalog number", err)
+	}
+	id2, err := atoi(line2[2:7])
+	if err != nil {
+		return fail("line-2 catalog number", err)
+	}
+	if id2 != t.NoradID {
+		return t, fmt.Errorf("tle: catalog numbers differ between lines: %d vs %d", t.NoradID, id2)
+	}
+	t.Classification = line1[7]
+	t.IntlDesignator = strings.TrimSpace(line1[9:17])
+
+	if t.Epoch, err = parseEpoch(line1[18:32]); err != nil {
+		return fail("epoch", err)
+	}
+	if t.NDot, err = atof(line1[33:43]); err != nil {
+		return fail("ndot", err)
+	}
+	if t.NDDot, err = parseExpNotation(line1[44:52]); err != nil {
+		return fail("nddot", err)
+	}
+	if t.BStar, err = parseExpNotation(line1[53:61]); err != nil {
+		return fail("bstar", err)
+	}
+	if t.ElementSetNo, err = atoi(line1[64:68]); err != nil {
+		return fail("element set number", err)
+	}
+
+	if t.InclinationDeg, err = atof(line2[8:16]); err != nil {
+		return fail("inclination", err)
+	}
+	if t.RAANDeg, err = atof(line2[17:25]); err != nil {
+		return fail("raan", err)
+	}
+	if t.Eccentricity, err = atof("0." + strings.TrimSpace(line2[26:33])); err != nil {
+		return fail("eccentricity", err)
+	}
+	if t.ArgPerigeeDeg, err = atof(line2[34:42]); err != nil {
+		return fail("argument of perigee", err)
+	}
+	if t.MeanAnomalyDeg, err = atof(line2[43:51]); err != nil {
+		return fail("mean anomaly", err)
+	}
+	if t.MeanMotion, err = atof(line2[52:63]); err != nil {
+		return fail("mean motion", err)
+	}
+	if t.RevNumber, err = atoi(line2[63:68]); err != nil {
+		return fail("rev number", err)
+	}
+	return t, t.Validate()
+}
+
+// Validate checks physical ranges of the parsed elements.
+func (t TLE) Validate() error {
+	switch {
+	case t.InclinationDeg < 0 || t.InclinationDeg > 180:
+		return fmt.Errorf("tle: inclination %.4f out of [0,180]", t.InclinationDeg)
+	case t.Eccentricity < 0 || t.Eccentricity >= 1:
+		return fmt.Errorf("tle: eccentricity %.7f out of [0,1)", t.Eccentricity)
+	case t.MeanMotion <= 0 || t.MeanMotion > 20:
+		return fmt.Errorf("tle: mean motion %.8f out of (0,20] rev/day", t.MeanMotion)
+	case t.Epoch.IsZero():
+		return errors.New("tle: zero epoch")
+	}
+	return nil
+}
+
+// PeriodMinutes returns the orbital period implied by the mean motion.
+func (t TLE) PeriodMinutes() float64 { return 1440.0 / t.MeanMotion }
+
+// SemiMajorAxisKm returns the Kepler semi-major axis implied by mean motion,
+// using the WGS-72 gravitational parameter.
+func (t TLE) SemiMajorAxisKm() float64 {
+	mu := astro.WGS72().MuKm3S2
+	n := t.MeanMotion * astro.TwoPi / 86400.0 // rad/s
+	return math.Cbrt(mu / (n * n))
+}
+
+// ApogeeKm and PerigeeKm return approximate apsis altitudes above the
+// equatorial radius.
+func (t TLE) ApogeeKm() float64 {
+	return t.SemiMajorAxisKm()*(1+t.Eccentricity) - astro.WGS72().RadiusKm
+}
+
+// PerigeeKm returns the approximate perigee altitude in kilometres.
+func (t TLE) PerigeeKm() float64 {
+	return t.SemiMajorAxisKm()*(1-t.Eccentricity) - astro.WGS72().RadiusKm
+}
+
+// Format renders the TLE as the canonical 2-line (or 3-line, when Name is
+// set) text with valid checksums.
+func (t TLE) Format() string {
+	l1 := fmt.Sprintf("1 %05d%c %-8s %s %s %s %s 0 %4d",
+		t.NoradID, t.Classification, t.IntlDesignator,
+		formatEpoch(t.Epoch), formatNDot(t.NDot),
+		formatExpNotation(t.NDDot), formatExpNotation(t.BStar),
+		t.ElementSetNo%10000)
+	l1 += strconv.Itoa(Checksum(l1))
+	l2 := fmt.Sprintf("2 %05d %8.4f %8.4f %07d %8.4f %8.4f %11.8f%5d",
+		t.NoradID, t.InclinationDeg, t.RAANDeg,
+		int(math.Round(t.Eccentricity*1e7)),
+		t.ArgPerigeeDeg, t.MeanAnomalyDeg, t.MeanMotion, t.RevNumber%100000)
+	l2 += strconv.Itoa(Checksum(l2))
+	if t.Name != "" {
+		return t.Name + "\n" + l1 + "\n" + l2
+	}
+	return l1 + "\n" + l2
+}
+
+func checkLine(line string, number byte) error {
+	if len(line) != 69 {
+		return fmt.Errorf("%w (got %d)", ErrLineLength, len(line))
+	}
+	if line[0] != number {
+		return fmt.Errorf("%w: want %c got %c", ErrLineNumber, number, line[0])
+	}
+	want := int(line[68] - '0')
+	if got := Checksum(line); got != want {
+		return fmt.Errorf("%w: computed %d, line says %d", ErrChecksum, got, want)
+	}
+	return nil
+}
+
+// parseEpoch decodes the YYDDD.DDDDDDDD epoch field.
+func parseEpoch(field string) (time.Time, error) {
+	field = strings.TrimSpace(field)
+	if len(field) < 5 {
+		return time.Time{}, fmt.Errorf("epoch field %q too short", field)
+	}
+	yy, err := strconv.Atoi(field[0:2])
+	if err != nil {
+		return time.Time{}, err
+	}
+	year := 2000 + yy
+	if yy >= 57 { // TLE convention: 57-99 => 1957-1999
+		year = 1900 + yy
+	}
+	days, err := strconv.ParseFloat(field[2:], 64)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if days < 1 || days >= 367 {
+		return time.Time{}, fmt.Errorf("epoch day-of-year %.8f out of range", days)
+	}
+	base := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)
+	return base.Add(time.Duration((days - 1) * 24 * float64(time.Hour))), nil
+}
+
+func formatEpoch(t time.Time) string {
+	t = t.UTC()
+	yy := t.Year() % 100
+	yearStart := time.Date(t.Year(), 1, 1, 0, 0, 0, 0, time.UTC)
+	doy := 1 + t.Sub(yearStart).Hours()/24
+	return fmt.Sprintf("%02d%012.8f", yy, doy)
+}
+
+// parseExpNotation decodes the TLE "assumed decimal point" exponent format,
+// e.g. " 12345-4" meaning 0.12345e-4, "-11606-4" meaning -0.11606e-4.
+func parseExpNotation(field string) (float64, error) {
+	s := strings.TrimSpace(field)
+	if s == "" || s == "00000-0" || s == "00000+0" {
+		return 0, nil
+	}
+	sign := 1.0
+	if s[0] == '-' {
+		sign = -1
+		s = s[1:]
+	} else if s[0] == '+' {
+		s = s[1:]
+	}
+	// Exponent is the last signed digit.
+	if len(s) < 2 {
+		return 0, fmt.Errorf("exponent field %q too short", field)
+	}
+	expPart := s[len(s)-2:]
+	mantPart := s[:len(s)-2]
+	if expPart[0] != '+' && expPart[0] != '-' {
+		// Some historical TLEs omit the exponent sign; treat final char as exp.
+		expPart = "+" + s[len(s)-1:]
+		mantPart = s[:len(s)-1]
+	}
+	mant, err := strconv.ParseFloat("0."+strings.TrimSpace(mantPart), 64)
+	if err != nil {
+		return 0, err
+	}
+	exp, err := strconv.Atoi(expPart)
+	if err != nil {
+		return 0, err
+	}
+	return sign * mant * math.Pow(10, float64(exp)), nil
+}
+
+func formatExpNotation(v float64) string {
+	if v == 0 {
+		return " 00000+0"
+	}
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	exp := int(math.Floor(math.Log10(v))) + 1
+	mant := v / math.Pow(10, float64(exp))
+	m := int(math.Round(mant * 1e5))
+	if m >= 1e5 { // rounding overflow, e.g. 0.999999
+		m /= 10
+		exp++
+	}
+	expSign := "+"
+	if exp < 0 {
+		expSign = "-"
+		exp = -exp
+	}
+	return fmt.Sprintf("%s%05d%s%d", sign, m, expSign, exp)
+}
+
+func formatNDot(v float64) string {
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	s := strconv.FormatFloat(v, 'f', 8, 64)
+	// Strip leading zero: ".00001234".
+	s = strings.TrimPrefix(s, "0")
+	return sign + s
+}
+
+func atoi(s string) (int, error) { return strconv.Atoi(strings.TrimSpace(s)) }
+
+func atof(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

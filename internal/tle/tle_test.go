@@ -1,0 +1,240 @@
+package tle
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// issTLE is the canonical SGP4 verification element set (Vallado et al.,
+// "Revisiting Spacetrack Report #3", AIAA 2006-6753).
+const issTLE = `ISS (ZARYA)
+1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927
+2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537`
+
+func TestParseISS(t *testing.T) {
+	tt, err := Parse(issTLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Name != "ISS (ZARYA)" {
+		t.Errorf("Name = %q", tt.Name)
+	}
+	if tt.NoradID != 25544 {
+		t.Errorf("NoradID = %d", tt.NoradID)
+	}
+	if tt.Classification != 'U' {
+		t.Errorf("Classification = %c", tt.Classification)
+	}
+	if tt.IntlDesignator != "98067A" {
+		t.Errorf("IntlDesignator = %q", tt.IntlDesignator)
+	}
+	if got := tt.Epoch.Year(); got != 2008 {
+		t.Errorf("epoch year = %d", got)
+	}
+	wantEpoch := time.Date(2008, 9, 20, 12, 25, 40, 104192000, time.UTC)
+	if d := tt.Epoch.Sub(wantEpoch); d > time.Millisecond || d < -time.Millisecond {
+		t.Errorf("epoch = %v, want %v", tt.Epoch, wantEpoch)
+	}
+	if math.Abs(tt.NDot - -0.00002182) > 1e-12 {
+		t.Errorf("NDot = %v", tt.NDot)
+	}
+	if tt.NDDot != 0 {
+		t.Errorf("NDDot = %v", tt.NDDot)
+	}
+	if math.Abs(tt.BStar - -0.11606e-4) > 1e-12 {
+		t.Errorf("BStar = %v", tt.BStar)
+	}
+	if math.Abs(tt.InclinationDeg-51.6416) > 1e-9 {
+		t.Errorf("Inclination = %v", tt.InclinationDeg)
+	}
+	if math.Abs(tt.RAANDeg-247.4627) > 1e-9 {
+		t.Errorf("RAAN = %v", tt.RAANDeg)
+	}
+	if math.Abs(tt.Eccentricity-0.0006703) > 1e-12 {
+		t.Errorf("Ecc = %v", tt.Eccentricity)
+	}
+	if math.Abs(tt.ArgPerigeeDeg-130.5360) > 1e-9 {
+		t.Errorf("ArgP = %v", tt.ArgPerigeeDeg)
+	}
+	if math.Abs(tt.MeanAnomalyDeg-325.0288) > 1e-9 {
+		t.Errorf("M = %v", tt.MeanAnomalyDeg)
+	}
+	if math.Abs(tt.MeanMotion-15.72125391) > 1e-9 {
+		t.Errorf("n = %v", tt.MeanMotion)
+	}
+	if tt.RevNumber != 56353 {
+		t.Errorf("Rev = %d", tt.RevNumber)
+	}
+	if tt.ElementSetNo != 292 {
+		t.Errorf("ElementSetNo = %d", tt.ElementSetNo)
+	}
+}
+
+func TestISSDerivedQuantities(t *testing.T) {
+	tt, err := Parse(issTLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tt.PeriodMinutes(); math.Abs(p-91.59) > 0.1 {
+		t.Errorf("period = %v min, want ~91.6", p)
+	}
+	// ISS altitude in 2008 was ~350 km.
+	if a := tt.ApogeeKm(); a < 330 || a > 380 {
+		t.Errorf("apogee = %v km", a)
+	}
+	if p := tt.PerigeeKm(); p < 320 || p > 370 {
+		t.Errorf("perigee = %v km", p)
+	}
+	if tt.ApogeeKm() < tt.PerigeeKm() {
+		t.Error("apogee below perigee")
+	}
+}
+
+func TestChecksumRejection(t *testing.T) {
+	lines := strings.Split(issTLE, "\n")
+	bad := lines[1][:68] + "9" // corrupt the checksum digit
+	if _, err := ParseLines("x", bad, lines[2]); err == nil {
+		t.Fatal("expected checksum error")
+	}
+	// Corrupt a digit in the body instead.
+	bad = lines[1][:20] + "9" + lines[1][21:]
+	if _, err := ParseLines("x", bad, lines[2]); err == nil {
+		t.Fatal("expected checksum error on corrupted body")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	lines := strings.Split(issTLE, "\n")
+	cases := []struct {
+		name   string
+		mangle func() (string, string)
+	}{
+		{"short line", func() (string, string) { return lines[1][:50], lines[2] }},
+		{"swapped lines", func() (string, string) { return lines[2], lines[1] }},
+		{"mismatched ids", func() (string, string) {
+			l2 := "2 25545" + lines[2][7:67]
+			l2 += string(rune('0' + Checksum(l2)))
+			return lines[1], l2
+		}},
+	}
+	for _, c := range cases {
+		l1, l2 := c.mangle()
+		if _, err := ParseLines("x", l1, l2); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := Parse("one line only"); err == nil {
+		t.Error("single line should fail")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	orig, err := Parse(issTLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(orig.Format())
+	if err != nil {
+		t.Fatalf("re-parsing own output: %v\n%s", err, orig.Format())
+	}
+	if back.NoradID != orig.NoradID ||
+		math.Abs(back.InclinationDeg-orig.InclinationDeg) > 1e-4 ||
+		math.Abs(back.RAANDeg-orig.RAANDeg) > 1e-4 ||
+		math.Abs(back.Eccentricity-orig.Eccentricity) > 1e-7 ||
+		math.Abs(back.MeanMotion-orig.MeanMotion) > 1e-8 ||
+		math.Abs(back.BStar-orig.BStar)/math.Abs(orig.BStar) > 1e-4 {
+		t.Fatalf("round trip mismatch:\norig %+v\nback %+v", orig, back)
+	}
+	if d := back.Epoch.Sub(orig.Epoch); d > time.Millisecond || d < -time.Millisecond {
+		t.Fatalf("epoch drift %v", d)
+	}
+}
+
+func TestFormatParseRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		orig := TLE{
+			Name:           "SYNTH",
+			NoradID:        10000 + rng.Intn(80000),
+			Classification: 'U',
+			IntlDesignator: "20001A",
+			Epoch:          time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(rng.Int63n(int64(300 * 24 * time.Hour)))),
+			NDot:           (rng.Float64() - 0.5) * 1e-4,
+			BStar:          (rng.Float64() - 0.5) * 1e-3,
+			ElementSetNo:   rng.Intn(10000),
+			InclinationDeg: rng.Float64() * 180,
+			RAANDeg:        rng.Float64() * 360,
+			Eccentricity:   rng.Float64() * 0.1,
+			ArgPerigeeDeg:  rng.Float64() * 360,
+			MeanAnomalyDeg: rng.Float64() * 360,
+			MeanMotion:     10 + rng.Float64()*6,
+			RevNumber:      rng.Intn(99999),
+		}
+		back, err := Parse(orig.Format())
+		if err != nil {
+			t.Fatalf("iteration %d: %v\n%s", i, err, orig.Format())
+		}
+		if back.NoradID != orig.NoradID ||
+			math.Abs(back.InclinationDeg-orig.InclinationDeg) > 1e-4 ||
+			math.Abs(back.RAANDeg-orig.RAANDeg) > 1e-4 ||
+			math.Abs(back.Eccentricity-orig.Eccentricity) > 1e-7+1e-7 ||
+			math.Abs(back.ArgPerigeeDeg-orig.ArgPerigeeDeg) > 1e-4 ||
+			math.Abs(back.MeanAnomalyDeg-orig.MeanAnomalyDeg) > 1e-4 ||
+			math.Abs(back.MeanMotion-orig.MeanMotion) > 1e-8 {
+			t.Fatalf("iteration %d mismatch:\norig %+v\nback %+v\n%s", i, orig, back, orig.Format())
+		}
+		if d := back.Epoch.Sub(orig.Epoch); d > time.Millisecond || d < -time.Millisecond {
+			t.Fatalf("iteration %d: epoch drift %v", i, d)
+		}
+		if bs := math.Abs(back.BStar - orig.BStar); bs > 1e-7 && bs/math.Abs(orig.BStar) > 1e-4 {
+			t.Fatalf("iteration %d: bstar %v -> %v", i, orig.BStar, back.BStar)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good, _ := Parse(issTLE)
+	bad := good
+	bad.Eccentricity = 1.5
+	if bad.Validate() == nil {
+		t.Error("eccentricity 1.5 accepted")
+	}
+	bad = good
+	bad.InclinationDeg = -1
+	if bad.Validate() == nil {
+		t.Error("negative inclination accepted")
+	}
+	bad = good
+	bad.MeanMotion = 0
+	if bad.Validate() == nil {
+		t.Error("zero mean motion accepted")
+	}
+}
+
+func TestChecksumRules(t *testing.T) {
+	// Digits sum their value, '-' counts 1, everything else 0.
+	if got := Checksum("1-2"); got != (1+1+2)%10 {
+		t.Errorf("Checksum = %d", got)
+	}
+	if got := Checksum("abc xyz"); got != 0 {
+		t.Errorf("letters should not count: %d", got)
+	}
+}
+
+func TestParseEpochCentury(t *testing.T) {
+	// Year 57 and later map to 19xx, earlier to 20xx.
+	l1 := "1 25544U 98067A   57264.51782528 -.00002182  00000-0 -11606-4 0  292"
+	l1 = l1[:68]
+	l1 += string(rune('0' + Checksum(l1)))
+	l2old := strings.Split(issTLE, "\n")[2]
+	tt, err := ParseLines("", l1, l2old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Epoch.Year() != 1957 {
+		t.Errorf("year = %d, want 1957", tt.Epoch.Year())
+	}
+}

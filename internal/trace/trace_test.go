@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dgs/internal/dataset"
+	"dgs/internal/orbit"
+	"dgs/internal/sgp4"
+	"dgs/internal/station"
+)
+
+var start = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func collectSmall(t *testing.T, nSat, nGs int, window time.Duration) *Log {
+	t.Helper()
+	els := dataset.Satellites(dataset.SatelliteOptions{N: nSat, Seed: 3, Epoch: start})
+	props := make([]orbit.Propagator, 0, nSat)
+	for _, el := range els {
+		p, err := sgp4.New(el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		props = append(props, p)
+	}
+	net := dataset.Stations(dataset.StationOptions{N: nGs, Seed: 3})
+	log, err := Collect(props, net, start, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestCollectValidatesAgainstPaperAnchors(t *testing.T) {
+	// The §4 validation role: simulated orbit calculations must reproduce
+	// SatNOGS-like contact geometry (observation times, link durations).
+	log := collectSmall(t, 6, 10, 24*time.Hour)
+	if log.Len() == 0 {
+		t.Fatal("no observations collected")
+	}
+	if err := log.ValidateAgainstPaper(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	d := log.Durations()
+	t.Logf("collected %d observations; pass duration median %.1f min, max %.1f",
+		log.Len(), d.Median(), d.Max())
+	// §2 anchor: contacts last up to ~10 minutes; best passes for the
+	// 300-600 km population should land in 5-15 minutes.
+	if d.Max() < 5 {
+		t.Errorf("longest pass %.1f min suspiciously short", d.Max())
+	}
+}
+
+func TestObservationsSortedAndConsistent(t *testing.T) {
+	log := collectSmall(t, 3, 6, 12*time.Hour)
+	obs := log.Observations()
+	for i, o := range obs {
+		if !o.Rise.Before(o.Set) {
+			t.Fatalf("obs %d: rise !< set", i)
+		}
+		if o.MaxElevationRad < 0 {
+			t.Fatalf("obs %d: negative culmination", i)
+		}
+		if i > 0 && obs[i-1].Rise.After(o.Rise) {
+			t.Fatal("observations not sorted by rise")
+		}
+	}
+}
+
+func TestPassesPerStationDay(t *testing.T) {
+	log := &Log{}
+	day := 24 * time.Hour
+	for i := 0; i < 6; i++ {
+		log.Add(Observation{Station: 1, Sat: 0, Rise: start, Set: start.Add(8 * time.Minute)})
+	}
+	for i := 0; i < 2; i++ {
+		log.Add(Observation{Station: 2, Sat: 0, Rise: start, Set: start.Add(8 * time.Minute)})
+	}
+	_ = day
+	d := log.PassesPerStationDay(2)
+	if d.N() != 2 {
+		t.Fatalf("stations counted = %d", d.N())
+	}
+	if d.Max() != 3 || d.Min() != 1 {
+		t.Fatalf("rates = [%v, %v], want [1, 3]", d.Min(), d.Max())
+	}
+}
+
+func TestValidateRejectsBadLogs(t *testing.T) {
+	empty := &Log{}
+	if err := empty.ValidateAgainstPaper(1, 1); err == nil {
+		t.Fatal("empty log validated")
+	}
+	geo := &Log{}
+	// A 2-hour "pass" is not LEO.
+	geo.Add(Observation{Station: 0, Sat: 0, Rise: start, Set: start.Add(2 * time.Hour)})
+	if err := geo.ValidateAgainstPaper(1, 1); err == nil {
+		t.Fatal("GEO-like log validated")
+	}
+}
+
+func TestCollectRejectsEmptyInput(t *testing.T) {
+	if _, err := Collect(nil, station.Network{}, start, time.Hour); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLogStringer(t *testing.T) {
+	log := &Log{}
+	log.Add(Observation{Rise: start, Set: start.Add(7 * time.Minute)})
+	if !strings.Contains(log.String(), "1 observations") {
+		t.Fatalf("String() = %q", log.String())
+	}
+}
