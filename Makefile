@@ -1,0 +1,26 @@
+# DGS reproduction — build/test/bench entry points.
+
+.PHONY: all build test ci bench race
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget
+
+ci:
+	./ci.sh
+
+# bench records the perf trajectory: wall-clock (ns/op) plus each figure
+# bench's headline metrics, written to BENCH_sim.json. The file keeps a
+# "baseline" snapshot (the serial pre-pipeline numbers) next to "current"
+# so future PRs can compare.
+bench:
+	go test -run '^$$' -bench 'BenchmarkFig3aBacklog|BenchmarkFig2StationMap' -benchmem . \
+		| tee /dev/stderr \
+		| go run ./tools/benchjson -o BENCH_sim.json

@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the repo's gate: format, vet, build, full tests, and the race
+# run over the packages that host the parallel planning/propagation
+# pipeline (load-bearing since the worker pool landed).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (parallel pipeline)"
+go test -race ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget
+
+echo "CI OK"

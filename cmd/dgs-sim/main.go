@@ -33,6 +33,7 @@ func main() {
 	beams := flag.Int("beams", 0, "per-station simultaneous links (beamforming extension)")
 	genGB := flag.Float64("gen-gb", 100, "per-satellite capture volume, GB/day")
 	step := flag.Duration("step", 0, "matching slot length (default 1m)")
+	workers := flag.Int("workers", 0, "planning/propagation worker pool size (0 = GOMAXPROCS; result is identical for any value)")
 	quiet := flag.Bool("q", false, "suppress per-day progress")
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 		Beams:       *beams,
 		GenGBPerDay: *genGB,
 		Step:        *step,
+		Workers:     *workers,
 	}
 	if !*quiet {
 		opt.Progress = func(day int, r *sim.Result) {

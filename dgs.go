@@ -112,6 +112,9 @@ type Options struct {
 	// EventsPerSatPerDay injects high-priority event captures (floods,
 	// fires) whose latency is tracked separately.
 	EventsPerSatPerDay float64
+	// Workers bounds the planning/propagation worker pool (0 =
+	// GOMAXPROCS). Results are identical for any worker count.
+	Workers int
 	// Progress, when set, receives per-day callbacks.
 	Progress func(day int, r *sim.Result)
 }
@@ -219,6 +222,7 @@ func Config(sys System, opt Options) (sim.Config, error) {
 
 		DaylightImaging:    opt.DaylightImaging,
 		EventsPerSatPerDay: opt.EventsPerSatPerDay,
+		Workers:            opt.Workers,
 	}
 	switch sys {
 	case SystemBaseline:

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"dgs/internal/astro"
@@ -10,6 +11,8 @@ import (
 	"dgs/internal/linkbudget"
 	"dgs/internal/match"
 	"dgs/internal/orbit"
+	"dgs/internal/pool"
+	"dgs/internal/poscache"
 	"dgs/internal/station"
 	"dgs/internal/weather"
 )
@@ -59,6 +62,33 @@ type Plan struct {
 	SlotDur time.Duration
 	// Slots covers [Issued, Issued+len(Slots)*SlotDur).
 	Slots []Slot
+
+	// index maps satellite → position in Slots[k].Assignments for each
+	// slot k, so AssignmentFor is O(1) instead of a linear scan. The
+	// simulator performs that lookup for every satellite at every step,
+	// making the scan a measurable constant factor at scale. PlanEpoch
+	// builds the index at construction; hand-assembled plans (tests,
+	// callers constructing Plan literals) fall back to the scan.
+	index []map[int]int
+}
+
+// BuildIndex (re)builds the per-slot satellite→assignment lookup. Call it
+// after constructing or mutating Slots by hand; PlanEpoch calls it for
+// every plan it produces.
+func (p *Plan) BuildIndex() {
+	idx := make([]map[int]int, len(p.Slots))
+	for k := range p.Slots {
+		as := p.Slots[k].Assignments
+		if len(as) == 0 {
+			continue
+		}
+		m := make(map[int]int, len(as))
+		for j, a := range as {
+			m[a.Sat] = j
+		}
+		idx[k] = m
+	}
+	p.index = idx
 }
 
 // AssignmentFor returns the planned station for a satellite at time t, or
@@ -69,6 +99,13 @@ func (p *Plan) AssignmentFor(sat int, t time.Time) (stationID int, rateBps float
 	}
 	idx := int(t.Sub(p.Issued) / p.SlotDur)
 	if idx < 0 || idx >= len(p.Slots) {
+		return -1, 0
+	}
+	if p.index != nil {
+		if j, ok := p.index[idx][sat]; ok {
+			a := p.Slots[idx].Assignments[j]
+			return a.Station, a.PlannedRateBps
+		}
 		return -1, 0
 	}
 	for _, a := range p.Slots[idx].Assignments {
@@ -103,23 +140,48 @@ type Scheduler struct {
 	// exact look angles. Defaults to 3500 km (horizon range for 600 km LEO
 	// with slack).
 	MaxRangeKm float64
+	// Workers bounds the planning worker pool: PlanEpoch fans its
+	// per-slot visibility sweeps out over this many goroutines. <= 0
+	// means GOMAXPROCS. The produced plan is bit-identical for any
+	// worker count.
+	Workers int
+	// Positions, when non-nil, is the shared satellite position cache
+	// (typically owned by the simulator so the scheduler and the sim
+	// main loop propagate each instant exactly once). When nil the
+	// scheduler lazily builds a private cache from the snapshots it is
+	// handed.
+	Positions *poscache.Cache
 
 	nextVersion int
 
+	// mu guards the lazily initialized shared state below; Visibility
+	// must be callable from PlanEpoch's worker goroutines.
+	mu sync.Mutex
 	// cellIdx buckets stations into 10°×10° geodetic cells so visibility
-	// only examines stations near each satellite's ground track.
-	cellIdx map[[2]int][]int
-
-	// ecefCache memoizes satellite ECEF positions per slot instant.
-	// Successive plan epochs overlap heavily, so each instant would
-	// otherwise be propagated several times. The cache assumes the same
-	// satellite population across calls (it is keyed by count and time).
-	ecefCache map[int64][]cachedECEF
-}
-
-type cachedECEF struct {
-	pos frames.Vec3
-	ok  bool
+	// only examines stations near each satellite's ground track. A fixed
+	// 18×36 array: direct indexing beats hashing a [2]int key in the
+	// innermost visibility loop.
+	cellIdx *[18][36][]int
+	// stGeo is the per-station fixed geometry (SEZ basis, effective
+	// terminal, elevation mask) precomputed alongside cellIdx so the
+	// visibility inner loop never redoes the geodetic→ECEF conversion or
+	// the beamforming power split per candidate edge.
+	stGeo []stationGeom
+	// pos is the private fallback position cache used when Positions is
+	// nil; rebuilt whenever the snapshot population changes.
+	pos *poscache.Cache
+	// memo caches the ITU-R attenuation chain for Radio (quantized
+	// elevation and weather), shared across epochs; memoPath maps station
+	// index → registered path handle.
+	memo     *linkbudget.AttenMemo
+	memoPath []int
+	// fcMu guards fcCache, the per-instant forecast components (truth and
+	// error-field samples per station). Both are lead-independent, so
+	// overlapping epochs revisiting an instant blend cached samples
+	// instead of re-evaluating the noise fields. Entries are pruned with
+	// the position cache as the clock advances.
+	fcMu    sync.RWMutex
+	fcCache map[int64][]weather.Sample // 2 samples per station: truth, alt
 }
 
 // cell returns the 10°×10° bucket for a latitude/longitude in radians.
@@ -129,15 +191,135 @@ func cell(latRad, lonRad float64) [2]int {
 	return [2]int{int((lat + 90) / 10), int((lon + 180) / 10)}
 }
 
-func (s *Scheduler) stationIndex() map[[2]int][]int {
+// stationGeom is the fixed per-station geometry the visibility inner loop
+// needs: everything here derives from the station location only, so it is
+// computed once and shared read-only across the worker pool. Mutable
+// station fields (constraint bitmap, elevation mask, beam count) are still
+// read live from the station each evaluation.
+type stationGeom struct {
+	topo   frames.Topocentric
+	latRad float64
+	altKm  float64
+}
+
+func (s *Scheduler) stationIndex() (*[18][36][]int, []stationGeom) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.cellIdx == nil {
-		s.cellIdx = make(map[[2]int][]int)
+		var idx [18][36][]int
+		geo := make([]stationGeom, len(s.Stations))
 		for j, gs := range s.Stations {
 			c := cell(gs.Location.LatRad, gs.Location.LonRad)
-			s.cellIdx[c] = append(s.cellIdx[c], j)
+			idx[c[0]][c[1]] = append(idx[c[0]][c[1]], j)
+			geo[j] = stationGeom{
+				topo:   frames.NewTopocentric(gs.Location),
+				latRad: gs.Location.LatRad,
+				altKm:  gs.Location.AltKm,
+			}
+		}
+		s.cellIdx = &idx
+		s.stGeo = geo
+	}
+	return s.cellIdx, s.stGeo
+}
+
+// rateMemo returns the attenuation memo for the scheduler's radio plus
+// the per-station path handles.
+func (s *Scheduler) rateMemo() (*linkbudget.AttenMemo, []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.memo == nil {
+		s.memo = linkbudget.NewAttenMemo(s.Radio)
+		s.memoPath = make([]int, len(s.Stations))
+		for j, gs := range s.Stations {
+			s.memoPath[j] = s.memo.Register(gs.Location.LatRad, gs.Location.AltKm)
 		}
 	}
-	return s.cellIdx
+	return s.memo, s.memoPath
+}
+
+// fcComponents returns the per-station forecast components (truth and
+// error-field samples) for an instant, computing and caching the whole
+// station set on first request. The returned slice is immutable after
+// publication, so concurrent slots touching the same instant are safe.
+// Returns nil when no forecast is configured (clear sky).
+func (s *Scheduler) fcComponents(t time.Time) []weather.Sample {
+	if s.Forecast == nil {
+		return nil
+	}
+	key := t.UnixNano()
+	s.fcMu.RLock()
+	comp, ok := s.fcCache[key]
+	s.fcMu.RUnlock()
+	if ok {
+		return comp
+	}
+	comp = make([]weather.Sample, 2*len(s.Stations))
+	for j, gs := range s.Stations {
+		comp[2*j], comp[2*j+1] = s.Forecast.Components(gs.Location.LatRad, gs.Location.LonRad, t)
+	}
+	s.fcMu.Lock()
+	if s.fcCache == nil {
+		s.fcCache = make(map[int64][]weather.Sample)
+	}
+	if prior, ok := s.fcCache[key]; ok {
+		comp = prior
+	} else {
+		s.fcCache[key] = comp
+	}
+	s.fcMu.Unlock()
+	return comp
+}
+
+// pruneForecast drops cached forecast components for instants before t.
+func (s *Scheduler) pruneForecast(t time.Time) {
+	cutoff := t.UnixNano()
+	s.fcMu.Lock()
+	for key := range s.fcCache {
+		if key < cutoff {
+			delete(s.fcCache, key)
+		}
+	}
+	s.fcMu.Unlock()
+}
+
+// workers resolves the pool size.
+func (s *Scheduler) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return pool.DefaultWorkers()
+}
+
+// positionCache resolves the satellite position cache for a snapshot
+// population: the shared cache when the simulator provided one, otherwise
+// a private cache rebuilt whenever the population changes.
+func (s *Scheduler) positionCache(sats []SatSnapshot) *poscache.Cache {
+	if s.Positions != nil {
+		return s.Positions
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos != nil && s.pos.Len() == len(sats) {
+		same := true
+		props := s.pos.Props()
+		for i := range sats {
+			if props[i] != sats[i].Prop {
+				same = false
+				break
+			}
+		}
+		if same {
+			return s.pos
+		}
+	}
+	props := make([]orbit.Propagator, len(sats))
+	for i := range sats {
+		props[i] = sats[i].Prop
+	}
+	s.pos = poscache.New(props)
+	s.pos.Workers = s.workers()
+	return s.pos
 }
 
 func (s *Scheduler) value() ValueFunc {
@@ -174,19 +356,31 @@ type VisibleEdge struct {
 //
 // A 10° geodetic cell index over the stations keeps the cost proportional
 // to stations actually near each ground track, not |S|·|G|.
+//
+// Visibility is safe for concurrent use (PlanEpoch invokes it from its
+// worker pool): satellite positions come from the shared thread-safe
+// position cache and the attenuation memo is lock-protected.
 func (s *Scheduler) Visibility(sats []SatSnapshot, t time.Time, lead time.Duration) []VisibleEdge {
-	idx := s.stationIndex()
-	jd := astro.JulianDate(t)
+	return s.visibility(sats, s.positionCache(sats), t, lead)
+}
 
-	// Forecast weather per station, fetched lazily: only stations with a
-	// candidate edge pay for a weather lookup.
+// visibility is Visibility with the position cache already resolved, so
+// pooled workers don't contend on the lazy-init path.
+func (s *Scheduler) visibility(sats []SatSnapshot, positions *poscache.Cache, t time.Time, lead time.Duration) []VisibleEdge {
+	idx, stGeo := s.stationIndex()
+	memo, memoPath := s.rateMemo()
+	maxRange := s.maxRange()
+
+	// Forecast weather per station: the lead-independent field samples
+	// come from the shared per-instant cache (hot across overlapping
+	// epochs); the per-lead blend is cheap arithmetic done locally.
+	comp := s.fcComponents(t)
 	condCache := make([]linkbudget.Conditions, len(s.Stations))
 	condKnown := make([]bool, len(s.Stations))
 	condFor := func(j int) linkbudget.Conditions {
 		if !condKnown[j] {
-			if s.Forecast != nil {
-				gs := s.Stations[j]
-				w := s.Forecast.AtLead(gs.Location.LatRad, gs.Location.LonRad, t, lead)
+			if comp != nil {
+				w := s.Forecast.BlendAtLead(comp[2*j], comp[2*j+1], lead)
 				condCache[j] = linkbudget.Conditions{RainMmH: w.RainMmH, CloudKgM2: w.CloudKgM2}
 			}
 			condKnown[j] = true
@@ -194,33 +388,14 @@ func (s *Scheduler) Visibility(sats []SatSnapshot, t time.Time, lead time.Durati
 		return condCache[j]
 	}
 
-	// Memoized propagation for this instant.
-	key := t.UnixNano()
-	if s.ecefCache == nil {
-		s.ecefCache = make(map[int64][]cachedECEF)
-	}
-	cached, ok := s.ecefCache[key]
-	if !ok || len(cached) != len(sats) {
-		cached = make([]cachedECEF, len(sats))
-		for i, ss := range sats {
-			st, err := ss.Prop.PropagateTo(t)
-			if err != nil {
-				continue
-			}
-			cached[i] = cachedECEF{pos: frames.TEMEToECEF(st.PositionKm, jd), ok: true}
-		}
-		if len(s.ecefCache) > 4096 {
-			s.ecefCache = make(map[int64][]cachedECEF)
-		}
-		s.ecefCache[key] = cached
-	}
+	cached := positions.At(t)
 
 	var edges []VisibleEdge
 	for i := range sats {
-		if !cached[i].ok {
+		if !cached[i].OK {
 			continue
 		}
-		ecef := cached[i].pos
+		ecef := cached[i].Pos
 		r := ecef.Norm()
 		if r <= astro.EarthRadiusKm {
 			continue
@@ -253,26 +428,27 @@ func (s *Scheduler) Visibility(sats []SatSnapshot, t time.Time, lead time.Durati
 				if dl == lonCells && lonCells == 18 && dl != -lonCells {
 					break // full wrap: avoid visiting the seam cell twice
 				}
-				for _, j := range idx[[2]int{latCell, lonCell}] {
+				for _, j := range idx[latCell][lonCell] {
 					gs := s.Stations[j]
 					if !gs.Allows(i) {
 						continue
 					}
-					d := ecef.Sub(gs.Location.ECEF())
-					if d.Norm() > s.maxRange() {
+					st := &stGeo[j]
+					d := ecef.Sub(st.topo.ECEF)
+					if d.Norm() > maxRange {
 						continue
 					}
-					look := frames.Look(gs.Location, ecef)
+					look := st.topo.Look(ecef)
 					if look.ElevationRad <= gs.MinElevationRad {
 						continue
 					}
 					geo := linkbudget.Geometry{
 						RangeKm:         look.RangeKm,
 						ElevationRad:    look.ElevationRad,
-						StationLatRad:   gs.Location.LatRad,
-						StationHeightKm: gs.Location.AltKm,
+						StationLatRad:   st.latRad,
+						StationHeightKm: st.altKm,
 					}
-					rate := linkbudget.RateBps(s.Radio, gs.EffectiveTerminal(), geo, condFor(j))
+					rate := memo.RateBpsAt(memoPath[j], gs.EffectiveTerminal(), geo, condFor(j))
 					if rate <= 0 {
 						continue
 					}
@@ -321,6 +497,13 @@ func (s *Scheduler) BuildGraph(sats []SatSnapshot, edges []VisibleEdge, slotDur 
 // granularity. The queue snapshots evolve optimistically inside the horizon:
 // scheduled transmissions drain PendingBits so later slots don't re-schedule
 // the same data, and capture feeds the queue at genBitsPerSec.
+//
+// The expensive per-slot work — propagation, visibility geometry, and
+// forecast-rate evaluation — depends only on time, never on the evolving
+// queue state, so it fans out over the worker pool; the queue-dependent
+// graph weighting, matching, and drain then run as a cheap sequential
+// reduction over the precomputed edges. The produced plan is bit-identical
+// to a fully serial sweep for any worker count.
 func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slotDur time.Duration, genBitsPerSec float64) *Plan {
 	if slotDur <= 0 {
 		slotDur = time.Minute
@@ -333,6 +516,20 @@ func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slot
 	work := make([]SatSnapshot, len(sats))
 	copy(work, sats)
 
+	// Resolve lazily initialized shared state once, then fan out. The
+	// clock only moves forward, so instants before this epoch can never
+	// be requested again: prune them from the shared position cache.
+	positions := s.positionCache(sats)
+	positions.Prune(start)
+	s.pruneForecast(start)
+	s.stationIndex()
+	s.rateMemo()
+	edgesBySlot := make([][]VisibleEdge, n)
+	pool.ForEach(s.workers(), n, func(k int) {
+		t := start.Add(time.Duration(k) * slotDur)
+		edgesBySlot[k] = s.visibility(sats, positions, t, t.Sub(start))
+	})
+
 	s.nextVersion++
 	plan := &Plan{
 		Version: s.nextVersion,
@@ -342,30 +539,32 @@ func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slot
 	}
 	for k := 0; k < n; k++ {
 		t := start.Add(time.Duration(k) * slotDur)
-		lead := t.Sub(start)
-		edges := s.Visibility(work, t, lead)
+		edges := edgesBySlot[k]
 		g := s.BuildGraph(work, edges, slotDur)
 		m := s.matcher()(g)
 
-		rate := make(map[[2]int]float64, len(edges))
+		// Pack (sat, station) into one int key: integer hashing is
+		// measurably cheaper than a [2]int struct key in this loop.
+		nGs := len(s.Stations)
+		rate := make(map[int]float64, len(edges))
 		for _, e := range edges {
-			rate[[2]int{e.Sat, e.Station}] = e.RateBps
+			rate[e.Sat*nGs+e.Station] = e.RateBps
 		}
-		weight := make(map[[2]int]float64, len(edges))
+		weight := make(map[int]float64, len(edges))
 		for _, e := range g.Edges() {
-			weight[[2]int{e.Left, e.Right}] = e.Weight
+			weight[e.Left*nGs+e.Right] = e.Weight
 		}
 		slot := Slot{Start: t}
 		for sat, st := range m.LeftToRight {
 			if st < 0 {
 				continue
 			}
-			r := rate[[2]int{sat, st}]
+			r := rate[sat*nGs+st]
 			slot.Assignments = append(slot.Assignments, Assignment{
 				Sat:            sat,
 				Station:        st,
 				PlannedRateBps: r,
-				Weight:         weight[[2]int{sat, st}],
+				Weight:         weight[sat*nGs+st],
 			})
 			// Drain the modeled queue.
 			sent := r * slotDur.Seconds()
@@ -386,5 +585,6 @@ func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slot
 		}
 		plan.Slots = append(plan.Slots, slot)
 	}
+	plan.BuildIndex()
 	return plan
 }

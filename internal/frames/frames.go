@@ -174,14 +174,41 @@ func (l LookAngles) ElevationDeg() float64 { return l.ElevationRad * astro.Rad2D
 // Look computes the look angles from a geodetic observer to a target given in
 // ECEF kilometres, via the south-east-zenith (SEZ) topocentric frame.
 func Look(observer Geodetic, targetECEF Vec3) LookAngles {
-	rho := targetECEF.Sub(observer.ECEF())
+	return NewTopocentric(observer).Look(targetECEF)
+}
+
+// Topocentric is a precomputed SEZ observer basis for a fixed ground site.
+// Building it once and calling Look per target skips the geodetic→ECEF
+// conversion and the latitude/longitude sincos that dominate repeated
+// look-angle computations against the same site (the scheduler's visibility
+// sweep evaluates every candidate pass of every satellite against each
+// station).
+type Topocentric struct {
+	// ECEF is the observer position in ECEF kilometres.
+	ECEF                           Vec3
+	sinLat, cosLat, sinLon, cosLon float64
+}
+
+// NewTopocentric precomputes the SEZ basis for an observer.
+func NewTopocentric(observer Geodetic) Topocentric {
 	sinLat, cosLat := math.Sincos(observer.LatRad)
 	sinLon, cosLon := math.Sincos(observer.LonRad)
+	return Topocentric{
+		ECEF:   observer.ECEF(),
+		sinLat: sinLat, cosLat: cosLat,
+		sinLon: sinLon, cosLon: cosLon,
+	}
+}
+
+// Look computes the look angles from the precomputed observer basis to a
+// target in ECEF kilometres. Identical arithmetic to the package-level Look.
+func (tp Topocentric) Look(targetECEF Vec3) LookAngles {
+	rho := targetECEF.Sub(tp.ECEF)
 
 	// Rotate the range vector into SEZ.
-	s := sinLat*cosLon*rho.X + sinLat*sinLon*rho.Y - cosLat*rho.Z
-	e := -sinLon*rho.X + cosLon*rho.Y
-	z := cosLat*cosLon*rho.X + cosLat*sinLon*rho.Y + sinLat*rho.Z
+	s := tp.sinLat*tp.cosLon*rho.X + tp.sinLat*tp.sinLon*rho.Y - tp.cosLat*rho.Z
+	e := -tp.sinLon*rho.X + tp.cosLon*rho.Y
+	z := tp.cosLat*tp.cosLon*rho.X + tp.cosLat*tp.sinLon*rho.Y + tp.sinLat*rho.Z
 
 	rng := math.Sqrt(s*s + e*e + z*z)
 	el := math.Asin(astro.Clamp(z/rng, -1, 1))

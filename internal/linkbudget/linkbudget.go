@@ -152,15 +152,26 @@ func EsN0dB(r Radio, t Terminal, g Geometry, w Conditions) float64 {
 		LatitudeRad:     g.StationLatRad,
 	}
 	atten := itu.TotalAttenuation(path, r.FreqGHz, w.RainMmH, w.CloudKgM2, r.Polarization)
+	return esN0WithAtten(r, t, g, atten)
+}
+
+// esN0WithAtten finishes the Es/N0 budget once the weather attenuation is
+// known (exact or memoized); everything else is cheap arithmetic.
+func esN0WithAtten(r Radio, t Terminal, g Geometry, attenDB float64) float64 {
 	noiseDBW := astro.BoltzmannDBW + astro.DB(t.NoiseTempK) + astro.DB(r.SymbolRateHz)
-	return r.EIRPdBW - FSPLdB(g.RangeKm, r.FreqGHz) - atten + t.GainDBi(r.FreqGHz) - noiseDBW
+	return r.EIRPdBW - FSPLdB(g.RangeKm, r.FreqGHz) - attenDB + t.GainDBi(r.FreqGHz) - noiseDBW
 }
 
 // RateBps returns the achievable information rate in bits/s across all of
 // the terminal's channels, after DVB-S2 ACM selection and the radio's
 // aggregate cap. Zero means the link does not close.
 func RateBps(r Radio, t Terminal, g Geometry, w Conditions) float64 {
-	esn0 := EsN0dB(r, t, g, w)
+	return rateFromEsN0(r, t, EsN0dB(r, t, g, w))
+}
+
+// rateFromEsN0 applies DVB-S2 ACM selection and the aggregate cap to a
+// symbol SNR (the shared tail of the exact and memoized rate paths).
+func rateFromEsN0(r Radio, t Terminal, esn0 float64) float64 {
 	per := dvbs2.Rate(esn0, t.ImplMarginDB, r.SymbolRateHz)
 	total := per * float64(max(t.Channels, 1))
 	if r.MaxTotalRateBps > 0 && total > r.MaxTotalRateBps {

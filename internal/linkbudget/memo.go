@@ -1,0 +1,159 @@
+package linkbudget
+
+import (
+	"math"
+	"sync"
+
+	"dgs/internal/itu"
+)
+
+// Attenuation memo quantization steps. The ITU chain (rain regression,
+// double-Debye cloud permittivity, slant-path geometry) is by far the most
+// expensive part of a rate evaluation, yet it varies smoothly in its
+// inputs: quantizing elevation to 0.1 mrad (~0.006°) and weather to the
+// steps below moves the computed attenuation by far less than the DVB-S2
+// MODCOD threshold spacing, while turning the scheduler's heavily
+// overlapping plan epochs into cache hits.
+const (
+	elevStepRad = 1e-4  // ~0.006° elevation buckets
+	rainStepMmH = 0.05  // mm/h rain buckets
+	cloudStepKg = 0.005 // kg/m² columnar liquid water buckets
+)
+
+// pathSpec is a registered ground path: the per-station inputs of the
+// slant-path model that are discrete (one value per station), so they live
+// outside the hashed key.
+type pathSpec struct {
+	latRad, heightKm float64
+}
+
+// AttenMemo memoizes the ITU-R attenuation chain for a fixed Radio
+// (frequency and polarization are part of the radio, so one memo serves
+// one radio). Stations register once via Register; per-evaluation lookups
+// then hash a single packed uint64 of the quantized (elevation, rain,
+// cloud) triple — profiling showed a struct key's hash dominating the
+// saved ITU time. It is safe for concurrent use.
+//
+// The cached value is computed from the *quantized* key inputs, never the
+// exact ones, so an entry's value is a pure function of (path, key):
+// lookups return identical results no matter which goroutine populated the
+// entry first. That property is what lets the parallel planner stay
+// bit-identical across worker counts.
+type AttenMemo struct {
+	radio Radio
+
+	mu     sync.RWMutex
+	paths  []pathSpec
+	byPath []map[uint64]float64
+}
+
+// NewAttenMemo builds a memo for one radio.
+func NewAttenMemo(r Radio) *AttenMemo {
+	return &AttenMemo{radio: r}
+}
+
+// Radio returns the radio this memo was built for.
+func (am *AttenMemo) Radio() Radio { return am.radio }
+
+// Register adds a ground path (station latitude and height) and returns
+// its handle for RateBpsAt/EsN0dBAt. Registering the same pair again
+// returns the existing handle.
+func (am *AttenMemo) Register(latRad, heightKm float64) int {
+	spec := pathSpec{latRad: latRad, heightKm: heightKm}
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	for i, p := range am.paths {
+		if p == spec {
+			return i
+		}
+	}
+	am.paths = append(am.paths, spec)
+	am.byPath = append(am.byPath, make(map[uint64]float64, 256))
+	return len(am.paths) - 1
+}
+
+// Len returns the number of cached attenuation entries across all paths.
+func (am *AttenMemo) Len() int {
+	am.mu.RLock()
+	defer am.mu.RUnlock()
+	n := 0
+	for _, m := range am.byPath {
+		n += len(m)
+	}
+	return n
+}
+
+// quantize buckets the continuous attenuation inputs. Elevation spans
+// (0, π/2] → ≤ 15708 buckets (well inside 24 bits); rain and cloud each
+// get 16 bits with clamping far beyond physical maxima.
+func quantize(elevRad float64, w Conditions) (elevQ, rainQ, cloudQ int64) {
+	elevQ = int64(math.Round(elevRad / elevStepRad))
+	if elevQ < 1 {
+		elevQ = 1 // keep the slant-path model away from a zero-elevation pole
+	}
+	if elevQ > 1<<24-1 {
+		elevQ = 1<<24 - 1
+	}
+	rainQ = int64(math.Round(w.RainMmH / rainStepMmH))
+	if rainQ < 0 {
+		rainQ = 0
+	}
+	if rainQ > 1<<16-1 {
+		rainQ = 1<<16 - 1
+	}
+	cloudQ = int64(math.Round(w.CloudKgM2 / cloudStepKg))
+	if cloudQ < 0 {
+		cloudQ = 0
+	}
+	if cloudQ > 1<<16-1 {
+		cloudQ = 1<<16 - 1
+	}
+	return
+}
+
+// attenuationAt returns the memoized weather attenuation for a registered
+// path.
+func (am *AttenMemo) attenuationAt(path int, g Geometry, w Conditions) float64 {
+	elevQ, rainQ, cloudQ := quantize(g.ElevationRad, w)
+	key := uint64(elevQ)<<32 | uint64(rainQ)<<16 | uint64(cloudQ)
+
+	am.mu.RLock()
+	a, ok := am.byPath[path][key]
+	spec := am.paths[path]
+	am.mu.RUnlock()
+	if ok {
+		return a
+	}
+	sp := itu.SlantPath{
+		ElevationRad:    float64(elevQ) * elevStepRad,
+		StationHeightKm: spec.heightKm,
+		LatitudeRad:     spec.latRad,
+	}
+	a = itu.TotalAttenuation(sp, am.radio.FreqGHz,
+		float64(rainQ)*rainStepMmH, float64(cloudQ)*cloudStepKg,
+		am.radio.Polarization)
+	am.mu.Lock()
+	// Bound each path's map; a full reset is safe because every entry is
+	// recomputable from its key alone.
+	if len(am.byPath[path]) >= 1<<18 {
+		am.byPath[path] = make(map[uint64]float64, 256)
+	}
+	am.byPath[path][key] = a
+	am.mu.Unlock()
+	return a
+}
+
+// EsN0dBAt is EsN0dB for a registered path, with the attenuation term
+// served from the memo.
+func (am *AttenMemo) EsN0dBAt(path int, t Terminal, g Geometry, w Conditions) float64 {
+	if g.ElevationRad <= 0 || g.RangeKm <= 0 {
+		return math.Inf(-1)
+	}
+	return esN0WithAtten(am.radio, t, g, am.attenuationAt(path, g, w))
+}
+
+// RateBpsAt is RateBps for a registered path, with the attenuation term
+// served from the memo.
+func (am *AttenMemo) RateBpsAt(path int, t Terminal, g Geometry, w Conditions) float64 {
+	return rateFromEsN0(am.radio, t, am.EsN0dBAt(path, t, g, w))
+}

@@ -103,6 +103,15 @@ func (d *Dist) Sum() float64 {
 	return s
 }
 
+// Samples returns a copy of the raw samples in insertion order (or sorted
+// order if a percentile has been queried). Determinism tests compare two
+// runs' distributions element-wise through it.
+func (d *Dist) Samples() []float64 {
+	out := make([]float64, len(d.samples))
+	copy(out, d.samples)
+	return out
+}
+
 // CDFPoint is one point of an empirical CDF.
 type CDFPoint struct {
 	// Value is the sample value.

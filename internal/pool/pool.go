@@ -1,0 +1,65 @@
+// Package pool provides the bounded worker pool the planning and
+// propagation pipeline fans out over. The primitive is a deterministic
+// parallel-for: work item i writes only to slot i of a pre-sized result,
+// so the output is identical regardless of worker count or goroutine
+// scheduling — the determinism contract the simulator's regression test
+// enforces.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a config leaves the
+// knob at zero: GOMAXPROCS, the number of OS threads Go will actually run.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines (including the caller). workers <= 1 degrades to a plain
+// sequential loop with no goroutine or allocation overhead.
+//
+// fn must confine its writes to data owned by item i; under that rule the
+// result is bit-identical to the sequential loop for any worker count.
+// ForEach returns only after every item has completed.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Work-stealing by atomic counter: items are claimed one at a time so
+	// an expensive item (a slot with many visible edges) doesn't straggle
+	// behind a statically chunked partition.
+	var next int64
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(atomic.AddInt64(&next, 1) - 1)
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(workers)
+	for w := 1; w < workers; w++ {
+		go worker()
+	}
+	worker() // the caller is one of the workers
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		hits := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for empty range")
+	}
+}
+
+func TestForEachDeterministicResult(t *testing.T) {
+	// The contract: writes confined to slot i make the result identical
+	// for any worker count.
+	const n = 512
+	build := func(workers int) []int {
+		out := make([]int, n)
+		ForEach(workers, n, func(i int) { out[i] = i * i })
+		return out
+	}
+	ref := build(1)
+	for _, w := range []int{2, 4, runtime.NumCPU() + 2} {
+		got := build(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

@@ -1,0 +1,121 @@
+// Package poscache is the shared, thread-safe satellite ECEF position
+// cache behind the parallel planning-and-propagation pipeline. The sim
+// main loop, the scheduler's visibility sweep, and the TX-contact check
+// all need "where is every satellite at instant t" — and successive plan
+// epochs overlap so heavily that each instant used to be propagated
+// several times over. One cache now serves them all:
+//
+//   - Entries are computed once per instant for the whole population and
+//     shared by reference; readers never mutate them.
+//   - The fill itself fans out over a bounded worker pool (propagation is
+//     per-satellite independent), so a cache miss costs one parallel
+//     sweep instead of a serial one.
+//   - Eviction is time-horizon pruning: the simulator advances
+//     monotonically, so instants before "now" can never be asked for
+//     again and are dropped by Prune. This replaces the old scheduler's
+//     wipe-everything-at-4096 heuristic, which threw away the still-hot
+//     overlap between plan epochs.
+package poscache
+
+import (
+	"sync"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/frames"
+	"dgs/internal/orbit"
+	"dgs/internal/pool"
+)
+
+// Entry is one satellite's position at a cached instant.
+type Entry struct {
+	// Pos is the ECEF position in km.
+	Pos frames.Vec3
+	// OK is false when propagation failed (decayed orbit); such
+	// satellites are skipped by every consumer.
+	OK bool
+}
+
+// Cache memoizes per-instant ECEF positions for a fixed satellite
+// population. It is safe for concurrent use.
+type Cache struct {
+	// Workers bounds the parallel fill; <= 0 means GOMAXPROCS.
+	Workers int
+
+	props []orbit.Propagator
+
+	mu    sync.RWMutex
+	slots map[int64][]Entry
+}
+
+// New builds a cache over a satellite population. The propagator slice is
+// retained; callers must not mutate it afterwards.
+func New(props []orbit.Propagator) *Cache {
+	return &Cache{props: props, slots: make(map[int64][]Entry)}
+}
+
+// Len returns the population size.
+func (c *Cache) Len() int { return len(c.props) }
+
+// Props returns the underlying propagators (shared, read-only).
+func (c *Cache) Props() []orbit.Propagator { return c.props }
+
+// At returns the population's ECEF positions at t, computing and caching
+// them on first request. The returned slice is shared: treat it as
+// read-only.
+func (c *Cache) At(t time.Time) []Entry {
+	key := t.UnixNano()
+	c.mu.RLock()
+	entries, ok := c.slots[key]
+	c.mu.RUnlock()
+	if ok {
+		return entries
+	}
+	entries = c.compute(t)
+	c.mu.Lock()
+	// A concurrent filler may have stored the same instant already; both
+	// computed identical values, so either copy may win.
+	if prior, ok := c.slots[key]; ok {
+		entries = prior
+	} else {
+		c.slots[key] = entries
+	}
+	c.mu.Unlock()
+	return entries
+}
+
+// compute propagates the whole population at t, fanning out over the
+// worker pool. Each worker writes only its own index, so the result is
+// identical for any worker count.
+func (c *Cache) compute(t time.Time) []Entry {
+	jd := astro.JulianDate(t)
+	entries := make([]Entry, len(c.props))
+	pool.ForEach(c.Workers, len(c.props), func(i int) {
+		st, err := c.props[i].PropagateTo(t)
+		if err != nil {
+			return
+		}
+		entries[i] = Entry{Pos: frames.TEMEToECEF(st.PositionKm, jd), OK: true}
+	})
+	return entries
+}
+
+// Prune drops every cached instant strictly before t. The simulator calls
+// it as the clock advances; planning only ever looks forward.
+func (c *Cache) Prune(t time.Time) {
+	cutoff := t.UnixNano()
+	c.mu.Lock()
+	for key := range c.slots {
+		if key < cutoff {
+			delete(c.slots, key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Size returns the number of cached instants (for tests and diagnostics).
+func (c *Cache) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.slots)
+}

@@ -1,0 +1,115 @@
+package poscache
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/dataset"
+	"dgs/internal/frames"
+	"dgs/internal/orbit"
+	"dgs/internal/sgp4"
+)
+
+var epoch = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func testCache(t testing.TB, n int) *Cache {
+	t.Helper()
+	els := dataset.Satellites(dataset.SatelliteOptions{N: n, Seed: 9, Epoch: epoch})
+	props := make([]orbit.Propagator, 0, n)
+	for _, el := range els {
+		p, err := sgp4.New(el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		props = append(props, p)
+	}
+	return New(props)
+}
+
+func TestAtMatchesDirectPropagation(t *testing.T) {
+	c := testCache(t, 8)
+	at := epoch.Add(45 * time.Minute)
+	entries := c.At(at)
+	if len(entries) != 8 {
+		t.Fatalf("entries = %d, want 8", len(entries))
+	}
+	jd := astro.JulianDate(at)
+	for i, p := range c.Props() {
+		st, err := p.PropagateTo(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := frames.TEMEToECEF(st.PositionKm, jd)
+		if !entries[i].OK {
+			t.Fatalf("sat %d not OK", i)
+		}
+		if entries[i].Pos != want {
+			t.Fatalf("sat %d: cached %v, direct %v", i, entries[i].Pos, want)
+		}
+	}
+}
+
+func TestAtIsCachedAndShared(t *testing.T) {
+	c := testCache(t, 4)
+	at := epoch.Add(10 * time.Minute)
+	a := c.At(at)
+	b := c.At(at)
+	if &a[0] != &b[0] {
+		t.Fatal("second At returned a different slice: cache miss")
+	}
+	if c.Size() != 1 {
+		t.Fatalf("cache size = %d, want 1", c.Size())
+	}
+}
+
+func TestPruneDropsPastInstants(t *testing.T) {
+	c := testCache(t, 4)
+	for k := 0; k < 10; k++ {
+		c.At(epoch.Add(time.Duration(k) * time.Minute))
+	}
+	if c.Size() != 10 {
+		t.Fatalf("cache size = %d, want 10", c.Size())
+	}
+	c.Prune(epoch.Add(7 * time.Minute))
+	if c.Size() != 3 {
+		t.Fatalf("after prune size = %d, want 3 (minutes 7, 8, 9)", c.Size())
+	}
+	// The surviving instants still hit.
+	a := c.At(epoch.Add(8 * time.Minute))
+	b := c.At(epoch.Add(8 * time.Minute))
+	if &a[0] != &b[0] {
+		t.Fatal("post-prune lookup recomputed a surviving instant")
+	}
+}
+
+func TestConcurrentAtIsConsistent(t *testing.T) {
+	c := testCache(t, 6)
+	c.Workers = 4
+	const goroutines = 8
+	results := make([][]Entry, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	at := epoch.Add(20 * time.Minute)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			results[g] = c.At(at)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if len(results[g]) != len(results[0]) {
+			t.Fatal("length mismatch")
+		}
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d sat %d disagrees", g, i)
+			}
+		}
+	}
+	if c.Size() != 1 {
+		t.Fatalf("cache size = %d, want 1", c.Size())
+	}
+}

@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"dgs/internal/astro"
@@ -26,6 +27,8 @@ import (
 	"dgs/internal/frames"
 	"dgs/internal/linkbudget"
 	"dgs/internal/metrics"
+	"dgs/internal/orbit"
+	"dgs/internal/poscache"
 	"dgs/internal/satellite"
 	"dgs/internal/sgp4"
 	"dgs/internal/station"
@@ -90,6 +93,10 @@ type Config struct {
 	EventsPerSatPerDay float64
 	// EventBits is the size of one event capture. Default 1 GB.
 	EventBits float64
+	// Workers bounds the worker pool shared by the scheduler's per-slot
+	// planning sweep and the per-step satellite propagation. <= 0 means
+	// GOMAXPROCS. The Result is bit-identical for any worker count.
+	Workers int
 	// Progress, when non-nil, is called once per simulated day.
 	Progress func(day int, r *Result)
 }
@@ -226,14 +233,6 @@ func Run(cfg Config) (*Result, error) {
 		fc = weather.NewForecast(field, cfg.ForecastErr)
 	}
 
-	sched := &core.Scheduler{
-		Radio:    cfg.Radio,
-		Stations: cfg.Stations,
-		Value:    cfg.Value,
-		Match:    cfg.Matcher,
-		Forecast: fc,
-	}
-
 	// Satellites.
 	sats := make([]*satRuntime, 0, len(cfg.TLEs))
 	genRate := cfg.GenBitsPerDay / 86400.0
@@ -257,6 +256,26 @@ func Run(cfg Config) (*Result, error) {
 			sr.nextEvent = cfg.Start.Add(time.Duration(i%97) * period / 97)
 		}
 		sats = append(sats, sr)
+	}
+
+	// One shared position cache serves the sim main loop (per-step
+	// propagation, TX-contact checks) and the scheduler's planning sweep:
+	// each instant is propagated exactly once, in parallel over the pool.
+	props := make([]orbit.Propagator, len(sats))
+	for i, s := range sats {
+		props[i] = s.prop
+	}
+	positions := poscache.New(props)
+	positions.Workers = cfg.Workers
+
+	sched := &core.Scheduler{
+		Radio:     cfg.Radio,
+		Stations:  cfg.Stations,
+		Value:     cfg.Value,
+		Match:     cfg.Matcher,
+		Forecast:  fc,
+		Workers:   cfg.Workers,
+		Positions: positions,
 	}
 
 	// Backend state: per satellite, chunks received on the ground and the
@@ -299,29 +318,23 @@ func Run(cfg Config) (*Result, error) {
 	txStations := cfg.Stations.TxStations()
 
 	stepSec := cfg.Step.Seconds()
-	ecefs := make([]frames.Vec3, len(sats))
-	ecefOK := make([]bool, len(sats))
 	for now := cfg.Start; now.Before(end); now = now.Add(cfg.Step) {
-		// 0. Propagate every satellite once for this slot.
+		// 0. Propagate every satellite once for this slot, through the
+		// shared cache: the fill fans out over the worker pool, and when
+		// the planner already touched this instant it is a pure lookup.
+		// Instants behind the clock can never be asked for again — prune.
+		positions.Prune(now)
 		jd := astro.JulianDate(now)
-		for i, s := range sats {
-			st, err := s.prop.PropagateTo(now)
-			if err != nil {
-				ecefOK[i] = false
-				continue
-			}
-			ecefs[i] = frames.TEMEToECEF(st.PositionKm, jd)
-			ecefOK[i] = true
-		}
+		ecefs := positions.At(now)
 		// txVisible: the satellite is above the elevation mask of some
 		// transmit-capable station (an uplink opportunity: plan upload +
 		// cumulative acks on the low-rate S-band side channel).
 		txVisible := func(i int) bool {
-			if !ecefOK[i] {
+			if !ecefs[i].OK {
 				return false
 			}
 			for _, gs := range txStations {
-				if frames.Look(gs.Location, ecefs[i]).ElevationRad > gs.MinElevationRad {
+				if frames.Look(gs.Location, ecefs[i].Pos).ElevationRad > gs.MinElevationRad {
 					return true
 				}
 			}
@@ -338,11 +351,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 		for i, s := range sats {
 			if cfg.DaylightImaging {
-				if !ecefOK[i] {
+				if !ecefs[i].OK {
 					s.store.Skip(now)
 					continue
 				}
-				teme := frames.ECEFToTEME(ecefs[i], jd)
+				teme := frames.ECEFToTEME(ecefs[i].Pos, jd)
 				if teme.X*sunX+teme.Y*sunY+teme.Z*sunZ <= 0 {
 					s.store.Skip(now)
 					continue
@@ -386,21 +399,32 @@ func Run(cfg Config) (*Result, error) {
 			rate    float64
 			version int
 		}
-		claims := make(map[int][]claim) // station -> claimants
+		// Resolve each satellite's planned assignment once for this step;
+		// both the claims pass and the execution pass below reuse it.
+		type slotAssign struct {
+			gs      int
+			rate    float64
+			version int
+		}
+		assigns := make([]slotAssign, len(sats))
 		for i, s := range sats {
 			satPlan := s.heldPlan
 			if !cfg.Hybrid {
 				satPlan = latestPlan
 			}
 			gsIdx, plannedRate := satPlan.AssignmentFor(i, now)
-			if gsIdx < 0 {
-				continue
-			}
 			v := 0
 			if satPlan != nil {
 				v = satPlan.Version
 			}
-			claims[gsIdx] = append(claims[gsIdx], claim{sat: i, rate: plannedRate, version: v})
+			assigns[i] = slotAssign{gs: gsIdx, rate: plannedRate, version: v}
+		}
+		claims := make(map[int][]claim) // station -> claimants
+		for i := range sats {
+			if assigns[i].gs < 0 {
+				continue
+			}
+			claims[assigns[i].gs] = append(claims[assigns[i].gs], claim{sat: i, rate: assigns[i].rate, version: assigns[i].version})
 		}
 		served := make(map[int]bool) // satellites a station listens to
 		for gsIdx, cs := range claims {
@@ -419,11 +443,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		for i, s := range sats {
-			satPlan := s.heldPlan
-			if !cfg.Hybrid {
-				satPlan = latestPlan
-			}
-			gsIdx, plannedRate := satPlan.AssignmentFor(i, now)
+			gsIdx, plannedRate := assigns[i].gs, assigns[i].rate
 			if gsIdx < 0 {
 				continue
 			}
@@ -431,10 +451,10 @@ func Run(cfg Config) (*Result, error) {
 			gs := cfg.Stations[gsIdx]
 
 			// Truth channel at this instant.
-			if !ecefOK[i] {
+			if !ecefs[i].OK {
 				continue
 			}
-			look := frames.Look(gs.Location, ecefs[i])
+			look := frames.Look(gs.Location, ecefs[i].Pos)
 			if look.ElevationRad <= gs.MinElevationRad {
 				continue
 			}
@@ -537,6 +557,9 @@ func Run(cfg Config) (*Result, error) {
 						ids = append(ids, id)
 					}
 				}
+				// Map iteration order is random; sort so a truncated
+				// digest acks a deterministic prefix.
+				slices.Sort(ids)
 				if len(ids) > 0 {
 					digestBits := 96*8 + float64(len(ids))*64
 					if digestBits > upBudget {
@@ -581,6 +604,7 @@ func Run(cfg Config) (*Result, error) {
 					}
 				}
 				if len(lost) > 0 {
+					slices.Sort(lost)
 					s.store.Nack(lost)
 					for _, id := range lost {
 						delete(s.txTime, id)

@@ -162,6 +162,10 @@ func NewForecast(truth *Field, maxErr float64) *Forecast {
 
 // AtLead returns the forecast issued `lead` before the valid time t.
 // Lead zero is a nowcast equal to truth.
+//
+// AtLead is safe for concurrent use when the Forecast was built with
+// NewForecast (fields are then read-only); the parallel planner queries it
+// from many workers at once.
 func (f *Forecast) AtLead(latRad, lonRad float64, t time.Time, lead time.Duration) Sample {
 	truth := f.Truth.At(latRad, lonRad, t)
 	if lead <= 0 || f.MaxErr <= 0 {
@@ -172,10 +176,44 @@ func (f *Forecast) AtLead(latRad, lonRad float64, t time.Time, lead time.Duratio
 		growth = 24
 	}
 	e := f.MaxErr * math.Min(1, lead.Hours()/growth)
-	if f.errField == nil {
-		f.errField = NewField(f.Truth.seed ^ 0xdeadbeefcafef00d)
+	ef := f.errField
+	if ef == nil {
+		// Hand-constructed Forecast: derive the field locally rather than
+		// writing to the struct, which would race under the worker pool.
+		ef = NewField(f.Truth.seed ^ 0xdeadbeefcafef00d)
 	}
-	alt := f.errField.At(latRad, lonRad, t)
+	alt := ef.At(latRad, lonRad, t)
+	return Sample{
+		RainMmH:   (1-e)*truth.RainMmH + e*alt.RainMmH,
+		CloudKgM2: (1-e)*truth.CloudKgM2 + e*alt.CloudKgM2,
+	}
+}
+
+// Components returns the two lead-independent samples AtLead blends: the
+// truth field and the decorrelated error field at (lat, lon, t). Callers
+// that evaluate the same place and valid time at many leads (the
+// scheduler's overlapping plan epochs) can cache these and blend per lead
+// with BlendAtLead, skipping the expensive noise-field evaluations.
+func (f *Forecast) Components(latRad, lonRad float64, t time.Time) (truth, alt Sample) {
+	truth = f.Truth.At(latRad, lonRad, t)
+	ef := f.errField
+	if ef == nil {
+		ef = NewField(f.Truth.seed ^ 0xdeadbeefcafef00d)
+	}
+	return truth, ef.At(latRad, lonRad, t)
+}
+
+// BlendAtLead combines Components into the forecast AtLead would return
+// for the given lead.
+func (f *Forecast) BlendAtLead(truth, alt Sample, lead time.Duration) Sample {
+	if lead <= 0 || f.MaxErr <= 0 {
+		return truth
+	}
+	growth := f.ErrGrowthHours
+	if growth <= 0 {
+		growth = 24
+	}
+	e := f.MaxErr * math.Min(1, lead.Hours()/growth)
 	return Sample{
 		RainMmH:   (1-e)*truth.RainMmH + e*alt.RainMmH,
 		CloudKgM2: (1-e)*truth.CloudKgM2 + e*alt.CloudKgM2,

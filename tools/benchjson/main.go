@@ -1,0 +1,115 @@
+// Command benchjson turns `go test -bench` output (stdin) into the
+// BENCH_sim.json perf-trajectory file, so successive PRs can compare
+// wall-clock and headline metrics against a recorded baseline.
+//
+// Usage (see `make bench`):
+//
+//	go test -run '^$' -bench '...' . | go run ./tools/benchjson -o BENCH_sim.json
+//
+// The tool parses every benchmark result line into {name, iterations,
+// metrics} where metrics maps unit → value (ns/op, B/op, GB-median, ...).
+// If the output file already exists, its "baseline" entry is preserved;
+// when it has none, the previous "current" becomes the baseline — the
+// first recorded run therefore anchors the trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is one recorded bench run.
+type Snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// File is the BENCH_sim.json layout.
+type File struct {
+	Baseline *Snapshot `json:"baseline,omitempty"`
+	Current  *Snapshot `json:"current"`
+}
+
+func parse(lines *bufio.Scanner) []Bench {
+	var out []Bench
+	for lines.Scan() {
+		fields := strings.Fields(lines.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		// The tail is value/unit pairs: "123 ns/op 4.5 GB-median ...".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func main() {
+	outPath := flag.String("o", "BENCH_sim.json", "output file")
+	note := flag.String("note", "", "annotation stored with this snapshot")
+	flag.Parse()
+
+	benches := parse(bufio.NewScanner(os.Stdin))
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	cur := &Snapshot{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+		Benchmarks: benches,
+	}
+
+	var file File
+	if prev, err := os.ReadFile(*outPath); err == nil {
+		var old File
+		if json.Unmarshal(prev, &old) == nil {
+			file.Baseline = old.Baseline
+			if file.Baseline == nil {
+				file.Baseline = old.Current
+			}
+		}
+	}
+	file.Current = cur
+
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outPath, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *outPath)
+}
