@@ -26,4 +26,10 @@ go test ./...
 echo "== go test -race (parallel pipeline)"
 go test -race ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget
 
+
+echo "== bench trajectory (advisory, recorded BENCH_sim.json)"
+# Warns when the recorded current Fig3aBacklog/DGS wall-clock regressed
+# more than 10% past the recorded baseline; refresh the file with `make
+# bench` after perf-relevant changes.
+go run ./tools/benchjson -diff -o BENCH_sim.json -bench 'BenchmarkFig3aBacklog/DGS$' -metric ns/op -tol 10 || true
 echo "CI OK"

@@ -178,11 +178,15 @@ func valueFunc(v ValueName) (core.ValueFunc, error) {
 	}
 }
 
-// matcherFunc materializes a MatcherName.
+// matcherFunc materializes a MatcherName. The default stable matcher maps
+// to nil: sim.Config documents nil as stable matching, and leaving Match
+// unset lets the scheduler use its allocation-free warm-started matching
+// scratch (an explicit Matcher function is treated as opaque and called
+// per slot).
 func matcherFunc(m MatcherName) (core.Matcher, error) {
 	switch m {
 	case MatchStable, "":
-		return match.Stable, nil
+		return nil, nil
 	case MatchOptimal:
 		return match.MaxWeight, nil
 	case MatchGreedy:

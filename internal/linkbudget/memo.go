@@ -115,6 +115,12 @@ func quantize(elevRad float64, w Conditions) (elevQ, rainQ, cloudQ int64) {
 // path.
 func (am *AttenMemo) attenuationAt(path int, g Geometry, w Conditions) float64 {
 	elevQ, rainQ, cloudQ := quantize(g.ElevationRad, w)
+	return am.attenuationForKey(path, elevQ, rainQ, cloudQ)
+}
+
+// attenuationForKey is attenuationAt after quantization: the shared locked
+// lookup-or-compute step, also the miss path of MemoView.
+func (am *AttenMemo) attenuationForKey(path int, elevQ, rainQ, cloudQ int64) float64 {
 	key := uint64(elevQ)<<32 | uint64(rainQ)<<16 | uint64(cloudQ)
 
 	am.mu.RLock()
@@ -124,14 +130,7 @@ func (am *AttenMemo) attenuationAt(path int, g Geometry, w Conditions) float64 {
 	if ok {
 		return a
 	}
-	sp := itu.SlantPath{
-		ElevationRad:    float64(elevQ) * elevStepRad,
-		StationHeightKm: spec.heightKm,
-		LatitudeRad:     spec.latRad,
-	}
-	a = itu.TotalAttenuation(sp, am.radio.FreqGHz,
-		float64(rainQ)*rainStepMmH, float64(cloudQ)*cloudStepKg,
-		am.radio.Polarization)
+	a = attenuationFromKey(am.radio, spec, elevQ, rainQ, cloudQ)
 	am.mu.Lock()
 	// Bound each path's map; a full reset is safe because every entry is
 	// recomputable from its key alone.
@@ -141,6 +140,21 @@ func (am *AttenMemo) attenuationAt(path int, g Geometry, w Conditions) float64 {
 	am.byPath[path][key] = a
 	am.mu.Unlock()
 	return a
+}
+
+// attenuationFromKey evaluates the ITU chain from a quantized key — the
+// single definition of the pure function (radio, path, key) → attenuation.
+// The shared memo's miss path and MemoView's compute-through path both call
+// it, which is what guarantees they can never disagree on a key's value.
+func attenuationFromKey(r Radio, spec pathSpec, elevQ, rainQ, cloudQ int64) float64 {
+	sp := itu.SlantPath{
+		ElevationRad:    float64(elevQ) * elevStepRad,
+		StationHeightKm: spec.heightKm,
+		LatitudeRad:     spec.latRad,
+	}
+	return itu.TotalAttenuation(sp, r.FreqGHz,
+		float64(rainQ)*rainStepMmH, float64(cloudQ)*cloudStepKg,
+		r.Polarization)
 }
 
 // EsN0dBAt is EsN0dB for a registered path, with the attenuation term

@@ -1,0 +1,114 @@
+package linkbudget
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestViewMatchesMemo checks the front cache is invisible: every lookup —
+// cold, warm, or evicted — returns bit-for-bit the shared memo's value.
+func TestViewMatchesMemo(t *testing.T) {
+	am := NewAttenMemo(DefaultRadio())
+	term := DGSTerminal()
+	paths := []int{am.Register(0.7, 0.2), am.Register(-0.3, 1.1)}
+	v := am.View()
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 5000; k++ {
+		// A small elevation/weather pool forces plenty of repeat hits.
+		g := memoGeometry(0.05 + float64(rng.Intn(40))*0.02)
+		w := Conditions{
+			RainMmH:   float64(rng.Intn(6)) * 0.8,
+			CloudKgM2: float64(rng.Intn(4)) * 0.3,
+		}
+		path := paths[k%2]
+		got := v.RateBpsAt(path, term, g, w)
+		want := am.RateBpsAt(path, term, g, w)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("view diverged from memo: %v vs %v (elev=%v w=%+v)", got, want, g.ElevationRad, w)
+		}
+		gotE := v.EsN0dBAt(path, term, g, w)
+		wantE := am.EsN0dBAt(path, term, g, w)
+		if math.Float64bits(gotE) != math.Float64bits(wantE) {
+			t.Fatalf("view Es/N0 diverged: %v vs %v", gotE, wantE)
+		}
+	}
+}
+
+// TestViewsAgreeRegardlessOfWarmOrder is the per-worker analogue of
+// TestMemoValueIsPureFunctionOfBucket: two views over one memo must agree
+// no matter which warmed an entry first.
+func TestViewsAgreeRegardlessOfWarmOrder(t *testing.T) {
+	am := NewAttenMemo(DefaultRadio())
+	term := DGSTerminal()
+	path := am.Register(0.7, 0.2)
+	v1, v2 := am.View(), am.View()
+	w := Conditions{RainMmH: 2.4, CloudKgM2: 0.15}
+	lo := memoGeometry(0.400001)
+	hi := memoGeometry(0.400009) // same 1e-4 rad bucket
+
+	first := v1.RateBpsAt(path, term, lo, w)
+	_ = v2.RateBpsAt(path, term, hi, w)
+	second := v2.RateBpsAt(path, term, lo, w)
+	if first != second {
+		t.Fatalf("views disagree: %v vs %v", first, second)
+	}
+	if direct := am.RateBpsAt(path, term, lo, w); direct != first {
+		t.Fatalf("view disagrees with memo: %v vs %v", first, direct)
+	}
+}
+
+// TestViewNoLineOfSight mirrors the memo's short-circuit.
+func TestViewNoLineOfSight(t *testing.T) {
+	am := NewAttenMemo(DefaultRadio())
+	path := am.Register(0.7, 0.2)
+	v := am.View()
+	if rate := v.RateBpsAt(path, DGSTerminal(), memoGeometry(-0.1), Conditions{}); rate != 0 {
+		t.Fatalf("below-horizon rate = %v, want 0", rate)
+	}
+}
+
+// TestViewWidePathFallsThrough registers more paths than the packed tag
+// can address; lookups beyond the limit must silently use the shared memo.
+func TestViewWidePathFallsThrough(t *testing.T) {
+	am := NewAttenMemo(DefaultRadio())
+	term := DGSTerminal()
+	var last int
+	for i := 0; i <= 1<<viewPathBits; i++ {
+		last = am.Register(0.001*float64(i), 0.2)
+	}
+	if last < 1<<viewPathBits {
+		t.Fatalf("fixture too small: last path handle %d", last)
+	}
+	v := am.View()
+	g := memoGeometry(0.3)
+	w := Conditions{RainMmH: 1.5}
+	if got, want := v.RateBpsAt(last, term, g, w), am.RateBpsAt(last, term, g, w); got != want {
+		t.Fatalf("wide-path lookup diverged: %v vs %v", got, want)
+	}
+}
+
+// TestViewSteadyStateAllocFree: once the view and memo are warm, lookups
+// must not allocate (the planner does one per candidate edge).
+func TestViewSteadyStateAllocFree(t *testing.T) {
+	am := NewAttenMemo(DefaultRadio())
+	term := DGSTerminal()
+	path := am.Register(0.7, 0.2)
+	v := am.View()
+	gs := make([]Geometry, 32)
+	for i := range gs {
+		gs[i] = memoGeometry(0.1 + float64(i)*0.03)
+	}
+	w := Conditions{RainMmH: 0.8, CloudKgM2: 0.2}
+	probe := func() {
+		for _, g := range gs {
+			if v.RateBpsAt(path, term, g, w) < 0 {
+				t.Fatal("negative rate")
+			}
+		}
+	}
+	probe() // warm both tiers
+	if n := testing.AllocsPerRun(100, probe); n != 0 {
+		t.Fatalf("warm view lookups allocate: %v allocs/run", n)
+	}
+}

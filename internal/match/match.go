@@ -13,6 +13,7 @@ package match
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -48,6 +49,32 @@ func NewGraph(nLeft, nRight int) *Graph {
 		capacity: cap1,
 		adj:      make([][]Edge, nLeft),
 	}
+}
+
+// Reset reshapes g in place for reuse, dropping all edges and restoring
+// every station to unit capacity. Adjacency and capacity buffers are
+// retained, so a graph recycled across the scheduler's per-slot loop
+// reaches a steady state with no allocations.
+func (g *Graph) Reset(nLeft, nRight int) {
+	if cap(g.capacity) >= nRight {
+		g.capacity = g.capacity[:nRight]
+	} else {
+		g.capacity = make([]int, nRight)
+	}
+	for j := range g.capacity {
+		g.capacity[j] = 1
+	}
+	if cap(g.adj) >= nLeft {
+		g.adj = g.adj[:nLeft]
+	} else {
+		adj := make([][]Edge, nLeft)
+		copy(adj, g.adj)
+		g.adj = adj
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.nLeft, g.nRight = nLeft, nRight
 }
 
 // NLeft returns the number of left (satellite) nodes.
@@ -124,22 +151,37 @@ func (m Matching) Size() int {
 
 // prefOrder sorts edges by descending weight with deterministic index
 // tie-breaks, yielding the strict preference lists Gale–Shapley requires.
+// slices.SortFunc rather than sort.Slice: the latter builds a reflect-based
+// swapper per call, which dominated the scheduler's allocation profile.
+// The comparator is a total order over distinct edges, so the result is
+// independent of the input order even though the sort is unstable.
 func prefOrder(edges []Edge, byLeft bool) {
-	sort.Slice(edges, func(i, j int) bool {
-		a, b := edges[i], edges[j]
-		if a.Weight != b.Weight {
-			return a.Weight > b.Weight
-		}
-		if byLeft {
-			if a.Right != b.Right {
-				return a.Right < b.Right
+	if byLeft {
+		slices.SortFunc(edges, func(a, b Edge) int {
+			switch {
+			case a.Weight > b.Weight:
+				return -1
+			case a.Weight < b.Weight:
+				return 1
+			case a.Right != b.Right:
+				return a.Right - b.Right
+			default:
+				return a.Left - b.Left
 			}
-			return a.Left < b.Left
+		})
+		return
+	}
+	slices.SortFunc(edges, func(a, b Edge) int {
+		switch {
+		case a.Weight > b.Weight:
+			return -1
+		case a.Weight < b.Weight:
+			return 1
+		case a.Left != b.Left:
+			return a.Left - b.Left
+		default:
+			return a.Right - b.Right
 		}
-		if a.Left != b.Left {
-			return a.Left < b.Left
-		}
-		return a.Right < b.Right
 	})
 }
 

@@ -1,0 +1,197 @@
+package match
+
+import "slices"
+
+// Scratch runs the stable-matching algorithm with reusable buffers, for
+// callers that solve one matching per plan slot over graphs of similar
+// shape (the scheduler's per-epoch reduction). After a few slots every
+// internal buffer reaches steady state and a Stable call allocates
+// nothing.
+//
+// The zero value is ready to use. Not safe for concurrent use. The
+// returned Matching's slices are owned by the Scratch and are valid only
+// until the next Stable call.
+type Scratch struct {
+	// Warm seeds each run's proposal processing order from the previous
+	// run's matching: satellites matched last slot are queued first,
+	// previously unmatched ones last. Satellite-proposing deferred
+	// acceptance with strict preferences (tie-breaks make both sides
+	// strict) reaches the same unique satellite-optimal stable matching
+	// for any proposal order, so warm starting changes the work done, not
+	// the outcome.
+	Warm bool
+
+	prefBuf []Edge
+	prefs   [][]Edge
+	next    []int
+	heldOff []int // per-station [start, end) into heldSat/heldW, by capacity
+	heldLen []int
+	heldSat []int
+	heldW   []float64
+	free    []int
+	l2r     []int
+	satW    []float64
+	r2l     [][]int
+	prevL2R []int
+}
+
+func growInts(b []int, n int) []int {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]int, n)
+}
+
+// Stable computes the same matching as the package-level Stable (identical
+// LeftToRight and RightToLeft; Value may differ in the last bits because
+// the matched weights are accumulated in satellite order rather than
+// station-held order).
+func (sc *Scratch) Stable(g *Graph) Matching {
+	nL, nR := g.nLeft, g.nRight
+
+	// Per-satellite preference lists, carved out of one flat buffer.
+	total := 0
+	for i := 0; i < nL; i++ {
+		total += len(g.adj[i])
+	}
+	if cap(sc.prefBuf) >= total {
+		sc.prefBuf = sc.prefBuf[:total]
+	} else {
+		sc.prefBuf = make([]Edge, total)
+	}
+	if cap(sc.prefs) >= nL {
+		sc.prefs = sc.prefs[:nL]
+	} else {
+		sc.prefs = make([][]Edge, nL)
+	}
+	off := 0
+	for i := 0; i < nL; i++ {
+		es := g.adj[i]
+		cp := sc.prefBuf[off : off+len(es) : off+len(es)]
+		copy(cp, es)
+		prefOrder(cp, true)
+		sc.prefs[i] = cp
+		off += len(es)
+	}
+
+	sc.next = growInts(sc.next, nL)
+	for i := range sc.next {
+		sc.next[i] = 0
+	}
+
+	// Station acceptance state: fixed-capacity spans in flat buffers.
+	sc.heldOff = growInts(sc.heldOff, nR+1)
+	sc.heldLen = growInts(sc.heldLen, nR)
+	capTotal := 0
+	for j := 0; j < nR; j++ {
+		sc.heldOff[j] = capTotal
+		sc.heldLen[j] = 0
+		capTotal += g.capacity[j]
+	}
+	sc.heldOff[nR] = capTotal
+	sc.heldSat = growInts(sc.heldSat, capTotal)
+	if cap(sc.heldW) >= capTotal {
+		sc.heldW = sc.heldW[:capTotal]
+	} else {
+		sc.heldW = make([]float64, capTotal)
+	}
+
+	// worse reports whether proposal (wa, sa) ranks below (wb, sb) for a
+	// station: lower weight, higher satellite index as the tie-break.
+	worse := func(wa float64, sa int, wb float64, sb int) bool {
+		if wa != wb {
+			return wa < wb
+		}
+		return sa > sb
+	}
+
+	sc.free = sc.free[:0]
+	if sc.Warm && len(sc.prevL2R) == nL {
+		for i := 0; i < nL; i++ {
+			if sc.prevL2R[i] >= 0 {
+				sc.free = append(sc.free, i)
+			}
+		}
+		for i := 0; i < nL; i++ {
+			if sc.prevL2R[i] < 0 {
+				sc.free = append(sc.free, i)
+			}
+		}
+	} else {
+		for i := 0; i < nL; i++ {
+			sc.free = append(sc.free, i)
+		}
+	}
+	for len(sc.free) > 0 {
+		s := sc.free[len(sc.free)-1]
+		sc.free = sc.free[:len(sc.free)-1]
+		if sc.next[s] >= len(sc.prefs[s]) {
+			continue // exhausted all options; stays unmatched
+		}
+		e := sc.prefs[s][sc.next[s]]
+		sc.next[s]++
+		j := e.Right
+		o, held := sc.heldOff[j], sc.heldLen[j]
+		if sc.heldOff[j+1]-o == 0 {
+			sc.free = append(sc.free, s)
+			continue
+		}
+		if held < sc.heldOff[j+1]-o {
+			sc.heldSat[o+held] = s
+			sc.heldW[o+held] = e.Weight
+			sc.heldLen[j]++
+			continue
+		}
+		worst := o
+		for k := o + 1; k < o+held; k++ {
+			if worse(sc.heldW[k], sc.heldSat[k], sc.heldW[worst], sc.heldSat[worst]) {
+				worst = k
+			}
+		}
+		if worse(sc.heldW[worst], sc.heldSat[worst], e.Weight, s) {
+			evicted := sc.heldSat[worst]
+			sc.heldSat[worst] = s
+			sc.heldW[worst] = e.Weight
+			sc.free = append(sc.free, evicted)
+		} else {
+			sc.free = append(sc.free, s)
+		}
+	}
+
+	sc.l2r = growInts(sc.l2r, nL)
+	if cap(sc.satW) >= nL {
+		sc.satW = sc.satW[:nL]
+	} else {
+		sc.satW = make([]float64, nL)
+	}
+	for i := range sc.l2r {
+		sc.l2r[i] = -1
+	}
+	if cap(sc.r2l) >= nR {
+		sc.r2l = sc.r2l[:nR]
+	} else {
+		r2l := make([][]int, nR)
+		copy(r2l, sc.r2l)
+		sc.r2l = r2l
+	}
+	for j := 0; j < nR; j++ {
+		lst := sc.r2l[j][:0]
+		o := sc.heldOff[j]
+		for k := o; k < o+sc.heldLen[j]; k++ {
+			sat := sc.heldSat[k]
+			sc.l2r[sat] = j
+			sc.satW[sat] = sc.heldW[k]
+			lst = append(lst, sat)
+		}
+		slices.Sort(lst)
+		sc.r2l[j] = lst
+	}
+	value := 0.0
+	for i := 0; i < nL; i++ {
+		if sc.l2r[i] >= 0 {
+			value += sc.satW[i]
+		}
+	}
+	sc.prevL2R = append(sc.prevL2R[:0], sc.l2r...)
+	return Matching{LeftToRight: sc.l2r, RightToLeft: sc.r2l, Value: value}
+}

@@ -116,12 +116,18 @@ func (o PassOptions) withDefaults() PassOptions {
 // progress at start is reported with Rise = start.
 func NextPass(prop Propagator, observer frames.Geodetic, start time.Time, window time.Duration, opt PassOptions) (Pass, error) {
 	opt = opt.withDefaults()
+	// The scan only needs elevation, so skip Observe's range-rate baseline
+	// (a second propagation per sample) and reuse one precomputed observer
+	// basis; frames.Look is exactly NewTopocentric(observer).Look, so the
+	// crossing times are unchanged.
+	tp := frames.NewTopocentric(observer)
 	elevationAt := func(t time.Time) (float64, error) {
-		obs, err := Observe(prop, observer, t)
+		st, err := prop.PropagateTo(t)
 		if err != nil {
 			return 0, err
 		}
-		return obs.Look.ElevationRad - opt.MinElevationRad, nil
+		ecef := frames.TEMEToECEF(st.PositionKm, astro.JulianDate(t))
+		return tp.Look(ecef).ElevationRad - opt.MinElevationRad, nil
 	}
 
 	end := start.Add(window)

@@ -1,0 +1,399 @@
+// Package passes predicts satellite↔station contact windows with a
+// coarse-to-fine search, so the scheduler's per-slot planning only touches
+// (satellite, station) pairs that are actually in view — typically a few
+// percent of the full cross product.
+//
+// The predictor strides the horizon at a coarse step (~60 s, well under
+// the several minutes a LEO pass spends above any elevation mask), records
+// which pairs are above the mask at each stride instant, and brackets
+// every AOS/LOS transition between two adjacent strides. Each bracket is
+// then refined by bisection on (elevation − MinElevation) to sub-slot
+// accuracy. A window's [Start, End] conservatively encloses the refined
+// crossings, so any stride instant observed above the mask is covered by
+// some window; [Rise, Set] are the refined crossing estimates themselves.
+//
+// Coverage is incremental: successive planning epochs overlap heavily
+// (e.g. a 12 h horizon re-planned every 30 min re-visits 95% of the same
+// instants), so the predictor scans each stride instant exactly once and
+// extends its coverage forward as epochs advance. The station set,
+// locations, and elevation masks are assumed fixed for the predictor's
+// lifetime, matching the scheduler's cached station geometry.
+package passes
+
+import (
+	"math"
+	"slices"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/frames"
+	"dgs/internal/poscache"
+	"dgs/internal/station"
+)
+
+// Window is one predicted contact between a satellite and a station.
+type Window struct {
+	// Sat and Station are population indices.
+	Sat, Station int
+	// Start and End conservatively bracket the contact: Start is at or
+	// before the true rise, End at or after the true set (each within one
+	// coarse step). Every coarse-grid instant the predictor observed above
+	// the mask lies inside [Start, End]. End equals the predictor's last
+	// scanned instant for a contact still in progress at the coverage
+	// boundary.
+	Start, End time.Time
+	// Rise and Set are the bisection-refined crossing estimates, within
+	// the configured tolerance of the true AOS/LOS. Rise equals Start when
+	// the contact was already up at the start of coverage; Set is zero for
+	// a contact still in progress at the coverage boundary.
+	Rise, Set time.Time
+}
+
+// Covers reports whether t falls inside the window's conservative bracket.
+func (w Window) Covers(t time.Time) bool {
+	return !t.Before(w.Start) && !t.After(w.End)
+}
+
+// Windows is a set of predicted contacts sorted by (Start, Sat, Station).
+type Windows []Window
+
+// Covering yields, in order, the windows whose conservative [Start, End]
+// bracket contains t. It relies on the sort order to stop scanning at the
+// first window starting after t.
+func (ws Windows) Covering(t time.Time) func(yield func(Window) bool) {
+	return func(yield func(Window) bool) {
+		for _, w := range ws {
+			if w.Start.After(t) {
+				return
+			}
+			if !w.End.Before(t) && !yield(w) {
+				return
+			}
+		}
+	}
+}
+
+// sortWindows orders windows by (Start, Sat, Station); the tuple is unique
+// per window, so the order is total and deterministic.
+func sortWindows(ws []Window) {
+	slices.SortFunc(ws, func(a, b Window) int {
+		if c := a.Start.Compare(b.Start); c != 0 {
+			return c
+		}
+		if a.Sat != b.Sat {
+			return a.Sat - b.Sat
+		}
+		return a.Station - b.Station
+	})
+}
+
+// Config tunes the predictor. The zero value selects the defaults.
+type Config struct {
+	// CoarseStep is the stride of the coarse elevation scan. It must be
+	// comfortably shorter than the shortest pass worth scheduling; the
+	// default 60 s keeps ~5+ samples inside even a low-elevation LEO pass
+	// (a 600 km orbit spends 4–8 minutes above a 5–25° mask). For the
+	// scheduler's bit-identity guarantee the planning slot grid must be a
+	// subset of the stride grid (CoarseStep divides the slot duration).
+	CoarseStep time.Duration
+	// Tol is the bisection tolerance for AOS/LOS refinement; default 1 s.
+	Tol time.Duration
+	// MaxRangeKm prunes pairs beyond plausible slant range before look
+	// angles, mirroring the scheduler's cut; default 3500 km.
+	MaxRangeKm float64
+}
+
+func (c Config) coarse() time.Duration {
+	if c.CoarseStep <= 0 {
+		return time.Minute
+	}
+	return c.CoarseStep
+}
+
+func (c Config) tol() time.Duration {
+	if c.Tol <= 0 {
+		return time.Second
+	}
+	return c.Tol
+}
+
+func (c Config) maxRange() float64 {
+	if c.MaxRangeKm <= 0 {
+		return 3500
+	}
+	return c.MaxRangeKm
+}
+
+// run is an in-progress above-mask streak for one pair.
+type run struct {
+	start, rise time.Time
+}
+
+// Predictor incrementally predicts contact windows for a satellite
+// population against a station network. It is not safe for concurrent use;
+// the scheduler drives it from the sequential part of PlanEpoch.
+type Predictor struct {
+	positions *poscache.Cache
+	stations  station.Network
+	cfg       Config
+
+	// cellIdx buckets stations into 10°×10° geodetic cells (same scheme as
+	// the scheduler's sweep) so each stride instant only examines stations
+	// near each ground track.
+	cellIdx [18][36][]int32
+	topo    []frames.Topocentric
+
+	// Scan state: instants anchor + k·CoarseStep for k ≥ 0 are scanned in
+	// order; [covFrom, lastScanned] is the contiguous covered range.
+	anchor, covFrom, next, lastScanned time.Time
+	prev, cur                          []int64 // sorted above-mask pair keys at lastScanned / being built
+	runs                               map[int64]run
+	windows                            []Window
+	sorted                             bool
+}
+
+// New builds a predictor over a position cache and station network. Both
+// are retained; stations must not move or change masks afterwards.
+func New(positions *poscache.Cache, stations station.Network, cfg Config) *Predictor {
+	p := &Predictor{
+		positions: positions,
+		stations:  stations,
+		cfg:       cfg,
+		topo:      make([]frames.Topocentric, len(stations)),
+		runs:      make(map[int64]run),
+	}
+	for j, gs := range stations {
+		c := cellOf(gs.Location.LatRad, gs.Location.LonRad)
+		p.cellIdx[c[0]][c[1]] = append(p.cellIdx[c[0]][c[1]], int32(j))
+		p.topo[j] = frames.NewTopocentric(gs.Location)
+	}
+	return p
+}
+
+// CoarseStep returns the effective stride of the coarse scan.
+func (p *Predictor) CoarseStep() time.Duration { return p.cfg.coarse() }
+
+// cellOf returns the 10°×10° bucket for a latitude/longitude in radians.
+func cellOf(latRad, lonRad float64) [2]int {
+	lat := astro.Clamp(latRad*astro.Rad2Deg, -89.999, 89.999)
+	lon := astro.NormalizePi(lonRad) * astro.Rad2Deg
+	return [2]int{int((lat + 90) / 10), int((lon + 180) / 10)}
+}
+
+// WindowsBetween returns every window overlapping [from, to), extending
+// the coarse scan as needed, appended to dst (which may be nil). Contacts
+// still in progress at the coverage boundary are reported with End set to
+// the last scanned instant and a zero Set. The result is sorted by
+// (Start, Sat, Station).
+//
+// from must lie on the stride grid of the previous call for coverage to
+// extend incrementally; a phase change or a gap resets the scan (correct,
+// just not incremental). Queries never look backwards in the steady state:
+// prune retired instants with Prune as the clock advances.
+func (p *Predictor) WindowsBetween(dst Windows, from, to time.Time) Windows {
+	if !to.After(from) {
+		return dst
+	}
+	p.ensure(from, to)
+	if !p.sorted {
+		sortWindows(p.windows)
+		p.sorted = true
+	}
+	n := len(dst)
+	for _, w := range p.windows {
+		if !w.Start.Before(to) {
+			break
+		}
+		if w.End.Before(from) {
+			continue
+		}
+		dst = append(dst, w)
+	}
+	// In-progress runs cover through lastScanned ≥ the last grid instant
+	// in [from, to). Map iteration order is irrelevant: the final sort key
+	// is unique per window.
+	nGs := int64(len(p.stations))
+	for key, r := range p.runs {
+		dst = append(dst, Window{
+			Sat:     int(key / nGs),
+			Station: int(key % nGs),
+			Start:   r.start,
+			Rise:    r.rise,
+			End:     p.lastScanned,
+		})
+	}
+	sortWindows(dst[n:])
+	return dst
+}
+
+// Prune drops completed windows that end before t.
+func (p *Predictor) Prune(t time.Time) {
+	kept := p.windows[:0]
+	for _, w := range p.windows {
+		if !w.End.Before(t) {
+			kept = append(kept, w)
+		}
+	}
+	clear(p.windows[len(kept):])
+	p.windows = kept
+}
+
+// ensure extends the contiguous coarse scan to cover [from, to).
+func (p *Predictor) ensure(from, to time.Time) {
+	step := p.cfg.coarse()
+	if p.anchor.IsZero() ||
+		from.Before(p.covFrom) ||
+		from.Sub(p.anchor)%step != 0 ||
+		from.After(p.lastScanned.Add(step)) {
+		p.reset(from)
+	}
+	for t := p.next; t.Before(to); t = t.Add(step) {
+		p.scan(t)
+	}
+}
+
+// reset discards all scan state and re-anchors the stride grid at from.
+func (p *Predictor) reset(from time.Time) {
+	p.anchor, p.covFrom, p.next = from, from, from
+	p.lastScanned = time.Time{}
+	p.prev = p.prev[:0]
+	clear(p.runs)
+	p.windows = p.windows[:0]
+	p.sorted = true
+}
+
+// scan evaluates one stride instant: which pairs are above the mask now,
+// and which transitions happened since the previous instant.
+func (p *Predictor) scan(t time.Time) {
+	entries := p.positions.At(t)
+	maxRange := p.cfg.maxRange()
+	nGs := int64(len(p.stations))
+	cur := p.cur[:0]
+	for i, e := range entries {
+		if !e.OK {
+			continue
+		}
+		ecef := e.Pos
+		r := ecef.Norm()
+		if r <= astro.EarthRadiusKm {
+			continue
+		}
+		// Horizon central angle from altitude, with margin for the geoid
+		// and cell quantization (same bound as the scheduler's sweep).
+		psiDeg := math.Acos(astro.EarthRadiusKm/r)*astro.Rad2Deg + 4
+		subLatDeg := math.Asin(ecef.Z/r) * astro.Rad2Deg
+		subLonDeg := math.Atan2(ecef.Y, ecef.X) * astro.Rad2Deg
+
+		latLo := int((astro.Clamp(subLatDeg-psiDeg, -89.999, 89.999) + 90) / 10)
+		latHi := int((astro.Clamp(subLatDeg+psiDeg, -89.999, 89.999) + 90) / 10)
+		for latCell := latLo; latCell <= latHi; latCell++ {
+			bandMaxAbs := math.Max(math.Abs(float64(latCell*10-90)), math.Abs(float64(latCell*10-80)))
+			halfW := 180.0
+			if bandMaxAbs < 85 {
+				halfW = psiDeg / math.Cos(bandMaxAbs*astro.Deg2Rad)
+				if halfW > 180 {
+					halfW = 180
+				}
+			}
+			lonCells := int(halfW/10) + 1
+			if lonCells > 18 {
+				lonCells = 18
+			}
+			center := int((astro.NormalizePi(subLonDeg*astro.Deg2Rad)*astro.Rad2Deg + 180) / 10)
+			for dl := -lonCells; dl <= lonCells; dl++ {
+				lonCell := ((center+dl)%36 + 36) % 36
+				if dl == lonCells && lonCells == 18 && dl != -lonCells {
+					break // full wrap: avoid visiting the seam cell twice
+				}
+				for _, j := range p.cellIdx[latCell][lonCell] {
+					if p.aboveWith(ecef, int(j), maxRange) {
+						cur = append(cur, int64(i)*nGs+int64(j))
+					}
+				}
+			}
+		}
+	}
+	slices.Sort(cur)
+	p.cur = cur
+
+	// Sorted-merge diff against the previous instant: new keys rose in
+	// (lastScanned, t], vanished keys set in (lastScanned, t].
+	prev := p.prev
+	pi, ci := 0, 0
+	for pi < len(prev) || ci < len(cur) {
+		switch {
+		case pi >= len(prev) || (ci < len(cur) && cur[ci] < prev[pi]):
+			p.begin(cur[ci], t)
+			ci++
+		case ci >= len(cur) || prev[pi] < cur[ci]:
+			p.end(prev[pi], t)
+			pi++
+		default:
+			pi++
+			ci++
+		}
+	}
+	p.prev, p.cur = p.cur, p.prev
+	p.lastScanned = t
+	p.next = t.Add(p.cfg.coarse())
+}
+
+// begin opens a run for a pair first seen above the mask at t.
+func (p *Predictor) begin(key int64, t time.Time) {
+	if t.Equal(p.covFrom) {
+		// Already up at the start of coverage: no earlier bracket exists.
+		p.runs[key] = run{start: t, rise: t}
+		return
+	}
+	nGs := int64(len(p.stations))
+	lo, hi := p.refine(int(key/nGs), int(key%nGs), t.Add(-p.cfg.coarse()), t, true)
+	p.runs[key] = run{start: lo, rise: hi}
+}
+
+// end closes the run for a pair last seen above the mask at t−step.
+func (p *Predictor) end(key int64, t time.Time) {
+	r := p.runs[key]
+	delete(p.runs, key)
+	nGs := int64(len(p.stations))
+	lo, hi := p.refine(int(key/nGs), int(key%nGs), t.Add(-p.cfg.coarse()), t, false)
+	p.windows = append(p.windows, Window{
+		Sat:     int(key / nGs),
+		Station: int(key % nGs),
+		Start:   r.start,
+		Rise:    r.rise,
+		Set:     lo,
+		End:     hi,
+	})
+	p.sorted = false
+}
+
+// refine bisects an AOS (rising) or LOS (falling) bracket down to the
+// configured tolerance. For rising, lo is below the mask and hi above; for
+// falling the reverse. It returns the final (lo, hi) bracket: the crossing
+// lies in (lo, hi].
+func (p *Predictor) refine(sat, st int, lo, hi time.Time, rising bool) (time.Time, time.Time) {
+	tol := p.cfg.tol()
+	maxRange := p.cfg.maxRange()
+	for hi.Sub(lo) > tol {
+		mid := lo.Add(hi.Sub(lo) / 2)
+		e := p.positions.SatAt(sat, mid)
+		above := e.OK && e.Pos.Norm() > astro.EarthRadiusKm && p.aboveWith(e.Pos, st, maxRange)
+		if above == rising {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, hi
+}
+
+// aboveWith is the predictor's above test for one station: within slant
+// range and above the elevation mask — the same cuts the scheduler's sweep
+// applies before link-budget evaluation.
+func (p *Predictor) aboveWith(ecef frames.Vec3, j int, maxRange float64) bool {
+	tp := &p.topo[j]
+	if ecef.Sub(tp.ECEF).Norm() > maxRange {
+		return false
+	}
+	return tp.Look(ecef).ElevationRad > p.stations[j].MinElevationRad
+}

@@ -26,6 +26,18 @@ func DefaultWorkers() int {
 // result is bit-identical to the sequential loop for any worker count.
 // ForEach returns only after every item has completed.
 func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the executing worker's index passed to fn,
+// so callers can hand each worker private scratch buffers. Workers are
+// numbered [0, min(workers, n)); a worker processes one item at a time, so
+// scratch indexed by the worker number is never shared between concurrent
+// items. The item→worker mapping is scheduling-dependent: fn must still
+// confine its result writes to data owned by item i, and any scratch state
+// must not leak information between items if bit-identical output across
+// worker counts is required.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -37,7 +49,7 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -46,20 +58,20 @@ func ForEach(workers, n int, fn func(i int)) {
 	// behind a statically chunked partition.
 	var next int64
 	var wg sync.WaitGroup
-	worker := func() {
+	worker := func(w int) {
 		defer wg.Done()
 		for {
 			i := int(atomic.AddInt64(&next, 1) - 1)
 			if i >= n {
 				return
 			}
-			fn(i)
+			fn(w, i)
 		}
 	}
 	wg.Add(workers)
 	for w := 1; w < workers; w++ {
-		go worker()
+		go worker(w)
 	}
-	worker() // the caller is one of the workers
+	worker(0) // the caller is one of the workers
 	wg.Wait()
 }

@@ -50,6 +50,56 @@ func TestForEachDeterministicResult(t *testing.T) {
 	}
 }
 
+func TestForEachWorkerCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 500
+		hits := make([]int32, n)
+		maxWorkers := workers
+		if maxWorkers <= 0 {
+			maxWorkers = DefaultWorkers()
+		}
+		if maxWorkers > n {
+			maxWorkers = n
+		}
+		var bad atomic.Int32
+		ForEachWorker(workers, n, func(w, i int) {
+			if w < 0 || w >= maxWorkers {
+				bad.Store(int32(w) + 1)
+			}
+			atomic.AddInt32(&hits[i], 1)
+		})
+		if b := bad.Load(); b != 0 {
+			t.Fatalf("workers=%d: worker index %d out of [0,%d)", workers, b-1, maxWorkers)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerScratchIsPrivate(t *testing.T) {
+	// The contract callers rely on: a worker processes one item at a time,
+	// so per-worker scratch is never touched by two items concurrently.
+	const n = 2000
+	workers := 4
+	busy := make([]atomic.Int32, workers)
+	var violations atomic.Int32
+	ForEachWorker(workers, n, func(w, i int) {
+		if busy[w].Add(1) != 1 {
+			violations.Add(1)
+		}
+		for k := 0; k < 100; k++ {
+			_ = k * k
+		}
+		busy[w].Add(-1)
+	})
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d concurrent uses of one worker's scratch", v)
+	}
+}
+
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())

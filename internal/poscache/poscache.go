@@ -100,6 +100,18 @@ func (c *Cache) compute(t time.Time) []Entry {
 	return entries
 }
 
+// SatAt propagates a single satellite to t, bypassing the cache. The
+// pass-window predictor refines AOS/LOS boundaries by bisection, which
+// probes one satellite at irregular sub-step instants; caching those would
+// pollute the per-instant whole-population slots.
+func (c *Cache) SatAt(i int, t time.Time) Entry {
+	st, err := c.props[i].PropagateTo(t)
+	if err != nil {
+		return Entry{}
+	}
+	return Entry{Pos: frames.TEMEToECEF(st.PositionKm, astro.JulianDate(t)), OK: true}
+}
+
 // Prune drops every cached instant strictly before t. The simulator calls
 // it as the clock advances; planning only ever looks forward.
 func (c *Cache) Prune(t time.Time) {

@@ -97,6 +97,11 @@ type Config struct {
 	// planning sweep and the per-step satellite propagation. <= 0 means
 	// GOMAXPROCS. The Result is bit-identical for any worker count.
 	Workers int
+	// SweepVisibility forces the scheduler onto the exhaustive per-slot
+	// visibility sweep instead of the pass-window predictor. Results are
+	// bit-identical either way (the equivalence test enforces it); the
+	// knob exists for that cross-check and for ablating the predictor.
+	SweepVisibility bool
 	// Progress, when non-nil, is called once per simulated day.
 	Progress func(day int, r *Result)
 }
@@ -192,16 +197,7 @@ type satRuntime struct {
 func planWireBits(p *core.Plan, sat int) float64 {
 	const headerBits = 64 * 8
 	const recordBits = 16 * 8
-	n := 0
-	for _, slot := range p.Slots {
-		for _, a := range slot.Assignments {
-			if a.Sat == sat {
-				n++
-				break
-			}
-		}
-	}
-	return headerBits + float64(n)*recordBits
+	return headerBits + float64(p.AssignedSlotCount(sat))*recordBits
 }
 
 // chunkRx is a backend record of a received chunk.
@@ -276,6 +272,7 @@ func Run(cfg Config) (*Result, error) {
 		Forecast:  fc,
 		Workers:   cfg.Workers,
 		Positions: positions,
+		UseSweep:  cfg.SweepVisibility,
 	}
 
 	// Backend state: per satellite, chunks received on the ground and the

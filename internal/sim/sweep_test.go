@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSweepWindowEquivalence is the end-to-end half of the pass-window
+// predictor's bit-identity contract: a full simulation planned through the
+// predictor must produce a byte-identical Result to one planned with the
+// exhaustive per-slot sweep, at any worker count, with weather, forecast
+// error, and event traffic all active.
+func TestSweepWindowEquivalence(t *testing.T) {
+	base := smallCfg(8, 24)
+	base.Duration = 6 * time.Hour
+	base.ClearSky = false
+	base.WeatherSeed = 11
+	base.ForecastErr = 0.4
+	base.EventsPerSatPerDay = 4
+
+	refCfg := base
+	refCfg.SweepVisibility = true
+	refCfg.Workers = 1
+	ref, err := Run(refCfg)
+	if err != nil {
+		t.Fatalf("sweep reference: %v", err)
+	}
+
+	for _, w := range []int{1, 4, runtime.NumCPU()} {
+		cfg := base
+		cfg.Workers = w
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("windows workers=%d: %v", w, err)
+		}
+		resultsIdentical(t, ref, res, fmt.Sprintf("sweep vs windows workers=%d", w))
+	}
+}

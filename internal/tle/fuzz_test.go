@@ -1,0 +1,91 @@
+package tle
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParse throws arbitrary text at the TLE parser: it must never panic,
+// and anything it accepts must survive a Format/Parse round trip with the
+// fields intact (up to the canonical format's precision). Run with
+// `go test -fuzz FuzzParse ./internal/tle` for a real fuzzing session; the
+// seed corpus below runs in ordinary test mode.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		issTLE,
+		// Vallado verification satellite: high eccentricity, 1958 epoch.
+		"1 00005U 58002B   00179.78495062  .00000023  00000-0  28098-4 0  4753\n" +
+			"2 00005  34.2682 348.7242 1859667 331.7664  19.3264 10.82419157413667",
+		// NOAA-18: sun-synchronous, negative BStar exponent.
+		"1 28654U 05018A   20344.54541526  .00000075  00000-0  65128-4 0  9992\n" +
+			"2 28654  99.0522  25.1681 0013314  92.4711 267.7992 14.12501077801476",
+	}
+	// A canonical Format output seeds the formatter's own dialect.
+	if t0, err := Parse(issTLE); err == nil {
+		seeds = append(seeds, t0.Format())
+	}
+	for _, s := range seeds {
+		f.Add(s)
+		// Truncations and targeted corruptions of each valid seed.
+		f.Add(s[:len(s)/2])
+		flip := []byte(s)
+		flip[len(flip)/2] ^= 0x40
+		f.Add(string(flip))
+		f.Add(strings.Replace(s, " ", "-", 3))
+	}
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(strings.Repeat("1", 69) + "\n" + strings.Repeat("2", 69))
+
+	f.Fuzz(func(t *testing.T, text string) {
+		orig, err := Parse(text)
+		if err != nil {
+			return
+		}
+		// Parse validates, so anything accepted must re-validate...
+		if err := orig.Validate(); err != nil {
+			t.Fatalf("parsed TLE fails Validate: %v\n%+v", err, orig)
+		}
+		// ...and round-trip through the canonical format.
+		back, err := Parse(orig.Format())
+		if err != nil {
+			t.Fatalf("re-parsing own Format: %v\ninput: %q\nformatted:\n%s", err, text, orig.Format())
+		}
+		if back.Name != orig.Name || back.NoradID != orig.NoradID ||
+			back.Classification != orig.Classification ||
+			back.IntlDesignator != orig.IntlDesignator ||
+			back.ElementSetNo != orig.ElementSetNo ||
+			back.RevNumber != orig.RevNumber {
+			t.Fatalf("identity fields drifted:\norig %+v\nback %+v", orig, back)
+		}
+		if d := back.Epoch.Sub(orig.Epoch); d > 5*time.Millisecond || d < -5*time.Millisecond {
+			t.Fatalf("epoch drift %v: %v -> %v", d, orig.Epoch, back.Epoch)
+		}
+		approx := []struct {
+			name     string
+			a, b     float64
+			abs, rel float64
+		}{
+			// The canonical fields carry 8, 5, 5, 4, 7, 4, 4, 8 significant
+			// digits respectively; inputs may carry slightly more.
+			{"ndot", orig.NDot, back.NDot, 1e-8, 0},
+			{"nddot", orig.NDDot, back.NDDot, 1e-9, 1e-4},
+			{"bstar", orig.BStar, back.BStar, 1e-9, 1e-4},
+			{"inclination", orig.InclinationDeg, back.InclinationDeg, 1e-3, 0},
+			{"raan", orig.RAANDeg, back.RAANDeg, 1e-3, 0},
+			{"eccentricity", orig.Eccentricity, back.Eccentricity, 1e-7, 0},
+			{"argp", orig.ArgPerigeeDeg, back.ArgPerigeeDeg, 1e-3, 0},
+			{"mean anomaly", orig.MeanAnomalyDeg, back.MeanAnomalyDeg, 1e-3, 0},
+			{"mean motion", orig.MeanMotion, back.MeanMotion, 1e-7, 0},
+		}
+		for _, c := range approx {
+			d := math.Abs(c.a - c.b)
+			if d <= c.abs || (c.rel > 0 && d <= c.rel*math.Abs(c.a)) {
+				continue
+			}
+			t.Fatalf("%s drifted: %v -> %v\ninput: %q\nformatted:\n%s", c.name, c.a, c.b, text, orig.Format())
+		}
+	})
+}

@@ -172,17 +172,63 @@ func ParseLines(name, line1, line2 string) (TLE, error) {
 	return t, t.Validate()
 }
 
-// Validate checks physical ranges of the parsed elements.
+// Validate checks physical ranges of the parsed elements, plus the field
+// widths the canonical Format can actually represent — a TLE that passes
+// Validate is guaranteed to survive a Format/Parse round trip.
 func (t TLE) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"ndot", t.NDot}, {"nddot", t.NDDot}, {"bstar", t.BStar},
+		{"inclination", t.InclinationDeg}, {"raan", t.RAANDeg},
+		{"eccentricity", t.Eccentricity}, {"argument of perigee", t.ArgPerigeeDeg},
+		{"mean anomaly", t.MeanAnomalyDeg}, {"mean motion", t.MeanMotion},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("tle: %s is not finite", f.name)
+		}
+	}
 	switch {
+	case t.NoradID < 0 || t.NoradID > 99999:
+		return fmt.Errorf("tle: catalog number %d out of [0,99999]", t.NoradID)
+	case t.Classification < ' ' || t.Classification > '~':
+		return fmt.Errorf("tle: classification %q not printable ASCII", t.Classification)
 	case t.InclinationDeg < 0 || t.InclinationDeg > 180:
 		return fmt.Errorf("tle: inclination %.4f out of [0,180]", t.InclinationDeg)
+	case t.RAANDeg < 0 || t.RAANDeg > 360:
+		return fmt.Errorf("tle: raan %.4f out of [0,360]", t.RAANDeg)
+	case t.ArgPerigeeDeg < 0 || t.ArgPerigeeDeg > 360:
+		return fmt.Errorf("tle: argument of perigee %.4f out of [0,360]", t.ArgPerigeeDeg)
+	case t.MeanAnomalyDeg < 0 || t.MeanAnomalyDeg > 360:
+		return fmt.Errorf("tle: mean anomaly %.4f out of [0,360]", t.MeanAnomalyDeg)
 	case t.Eccentricity < 0 || t.Eccentricity >= 1:
 		return fmt.Errorf("tle: eccentricity %.7f out of [0,1)", t.Eccentricity)
 	case t.MeanMotion <= 0 || t.MeanMotion > 20:
 		return fmt.Errorf("tle: mean motion %.8f out of (0,20] rev/day", t.MeanMotion)
+	case math.Abs(t.NDot) >= 0.9:
+		// The 10-character ndot field has no integer digits; physical
+		// values are orders of magnitude below this.
+		return fmt.Errorf("tle: ndot %g too large for field", t.NDot)
+	case math.Abs(t.NDDot) >= 1e8 || math.Abs(t.BStar) >= 1e8:
+		// One exponent digit in the assumed-decimal-point fields.
+		return fmt.Errorf("tle: nddot %g or bstar %g too large for field", t.NDDot, t.BStar)
+	case t.ElementSetNo < 0 || t.ElementSetNo > 9999:
+		return fmt.Errorf("tle: element set number %d out of [0,9999]", t.ElementSetNo)
+	case t.RevNumber < 0 || t.RevNumber > 99999:
+		return fmt.Errorf("tle: rev number %d out of [0,99999]", t.RevNumber)
 	case t.Epoch.IsZero():
 		return errors.New("tle: zero epoch")
+	case t.Epoch.Year() < 1957 || t.Epoch.Year() > 2056:
+		return fmt.Errorf("tle: epoch year %d outside the two-digit window [1957,2056]", t.Epoch.Year())
+	}
+	for i := 0; i < len(t.IntlDesignator); i++ {
+		if c := t.IntlDesignator[i]; c < ' ' || c > '~' {
+			return fmt.Errorf("tle: international designator %q not printable ASCII", t.IntlDesignator)
+		}
+	}
+	if len(t.IntlDesignator) > 8 {
+		return fmt.Errorf("tle: international designator %q longer than 8 characters", t.IntlDesignator)
 	}
 	return nil
 }
@@ -218,9 +264,12 @@ func (t TLE) Format() string {
 		formatExpNotation(t.NDDot), formatExpNotation(t.BStar),
 		t.ElementSetNo%10000)
 	l1 += strconv.Itoa(Checksum(l1))
+	ecc := int(math.Round(t.Eccentricity * 1e7))
+	if ecc > 9999999 {
+		ecc = 9999999 // 0.99999995+ rounds past the 7-digit field
+	}
 	l2 := fmt.Sprintf("2 %05d %8.4f %8.4f %07d %8.4f %8.4f %11.8f%5d",
-		t.NoradID, t.InclinationDeg, t.RAANDeg,
-		int(math.Round(t.Eccentricity*1e7)),
+		t.NoradID, t.InclinationDeg, t.RAANDeg, ecc,
 		t.ArgPerigeeDeg, t.MeanAnomalyDeg, t.MeanMotion, t.RevNumber%100000)
 	l2 += strconv.Itoa(Checksum(l2))
 	if t.Name != "" {
@@ -273,6 +322,11 @@ func formatEpoch(t time.Time) string {
 	yy := t.Year() % 100
 	yearStart := time.Date(t.Year(), 1, 1, 0, 0, 0, 0, time.UTC)
 	doy := 1 + t.Sub(yearStart).Hours()/24
+	if doy >= 366.999999995 {
+		// An epoch within half a format ulp of New Year would round to the
+		// out-of-range day 367; clamp inside the year instead.
+		doy = 366.99999999
+	}
 	return fmt.Sprintf("%02d%012.8f", yy, doy)
 }
 
@@ -322,6 +376,11 @@ func formatExpNotation(v float64) string {
 		v = -v
 	}
 	exp := int(math.Floor(math.Log10(v))) + 1
+	if exp < -9 {
+		// Below the one-digit exponent range: flush to zero, like the
+		// operational catalogs do for vanishing drag terms.
+		return " 00000+0"
+	}
 	mant := v / math.Pow(10, float64(exp))
 	m := int(math.Round(mant * 1e5))
 	if m >= 1e5 { // rounding overflow, e.g. 0.999999
@@ -338,7 +397,7 @@ func formatExpNotation(v float64) string {
 
 func formatNDot(v float64) string {
 	sign := " "
-	if v < 0 {
+	if math.Signbit(v) { // catches -0.0, which FormatFloat renders signed
 		sign = "-"
 		v = -v
 	}

@@ -11,6 +11,12 @@
 // If the output file already exists, its "baseline" entry is preserved;
 // when it has none, the previous "current" becomes the baseline — the
 // first recorded run therefore anchors the trajectory.
+//
+// With -diff the tool reads an existing trajectory file instead of stdin
+// and compares current against baseline for the selected benchmarks and
+// metric, printing a WARN line for every regression beyond -tol percent
+// (ci.sh runs this as an advisory step; -fail turns warnings into a
+// nonzero exit).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -72,10 +79,83 @@ func parse(lines *bufio.Scanner) []Bench {
 	return out
 }
 
+// diffSnapshots compares current against baseline for every benchmark
+// whose name matches re and that carries the metric in both snapshots.
+// Lower is better for every recorded metric (ns/op, B/op, allocs/op, the
+// GB quantiles), so a positive delta beyond tol percent is a regression.
+// Returns the number of regressions.
+func diffSnapshots(file *File, re *regexp.Regexp, metric string, tol float64) int {
+	if file.Baseline == nil || file.Current == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: trajectory file lacks a baseline/current pair; nothing to diff")
+		return 0
+	}
+	base := map[string]float64{}
+	for _, b := range file.Baseline.Benchmarks {
+		if v, ok := b.Metrics[metric]; ok {
+			base[b.Name] = v
+		}
+	}
+	compared, regressions := 0, 0
+	for _, b := range file.Current.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		cur, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		bv, ok := base[b.Name]
+		if !ok || bv == 0 {
+			continue
+		}
+		compared++
+		delta := (cur - bv) / bv * 100
+		if delta > tol {
+			regressions++
+			fmt.Printf("WARN %s %s: %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)\n",
+				b.Name, metric, bv, cur, delta, tol)
+		} else {
+			fmt.Printf("OK   %s %s: %.4g -> %.4g (%+.1f%%)\n",
+				b.Name, metric, bv, cur, delta)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matching %q carries metric %q in both snapshots\n", re, metric)
+	}
+	return regressions
+}
+
 func main() {
 	outPath := flag.String("o", "BENCH_sim.json", "output file")
 	note := flag.String("note", "", "annotation stored with this snapshot")
+	diff := flag.Bool("diff", false, "compare current vs baseline in the -o file instead of reading stdin")
+	benchPat := flag.String("bench", ".*", "with -diff: regexp selecting benchmark names to compare")
+	metric := flag.String("metric", "ns/op", "with -diff: metric to compare")
+	tol := flag.Float64("tol", 10, "with -diff: warn when current is worse than baseline by more than this percent")
+	failOnRegress := flag.Bool("fail", false, "with -diff: exit nonzero when a regression is found")
 	flag.Parse()
+
+	if *diff {
+		re, err := regexp.Compile(*benchPat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -bench pattern:", err)
+			os.Exit(1)
+		}
+		raw, err := os.ReadFile(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var file File
+		if err := json.Unmarshal(raw, &file); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if n := diffSnapshots(&file, re, *metric, *tol); n > 0 && *failOnRegress {
+			os.Exit(1)
+		}
+		return
+	}
 
 	benches := parse(bufio.NewScanner(os.Stdin))
 	if len(benches) == 0 {
