@@ -1,6 +1,7 @@
 package dgs
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -50,7 +51,7 @@ func runSystem(b *testing.B, sys System, opt Options, report func(*sim.Result)) 
 	b.Helper()
 	var last *sim.Result
 	for i := 0; i < b.N; i++ {
-		res, err := Run(sys, opt)
+		res, err := Run(context.Background(), sys, opt)
 		if err != nil {
 			b.Fatal(err)
 		}

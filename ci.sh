@@ -23,8 +23,11 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (parallel pipeline)"
-go test -race ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget
+echo "== go test -race (parallel pipeline + session layer)"
+# The backend/proto/faultnet trio includes the seeded chunk-dedup chaos
+# equivalence test — reconnect, resume, and replay-dedup all race-checked.
+go test -race ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget \
+    ./internal/backend ./internal/proto ./internal/faultnet
 
 
 echo "== bench trajectory (advisory, recorded BENCH_sim.json)"

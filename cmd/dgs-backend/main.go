@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,10 +34,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "population seed")
 	every := flag.Duration("plan-every", 30*time.Second, "schedule broadcast interval (wall clock)")
 	horizon := flag.Duration("horizon", 30*time.Minute, "plan horizon (simulated)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-frame read deadline (default 90s; heartbeats keep idle stations alive)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline (default 10s)")
 	flag.Parse()
 
 	srv := backend.NewServer(nil)
 	srv.Logf = log.Printf
+	srv.ReadTimeout = *readTimeout
+	srv.WriteTimeout = *writeTimeout
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("dgs-backend: %v", err)
@@ -57,6 +62,9 @@ func main() {
 		Radio:    linkbudget.DefaultRadio(),
 		Stations: dataset.Stations(dataset.StationOptions{N: *stations, Seed: *seed}),
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	go func() {
 		for {
@@ -82,13 +90,15 @@ func main() {
 				n += len(s.Assignments)
 			}
 			log.Printf("dgs-backend: broadcast plan v%d (%d slots, %d assignments)", wire.Version, len(wire.Slots), n)
-			time.Sleep(*every)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(*every):
+			}
 		}
 	}()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	<-ctx.Done()
 	fmt.Println()
 	log.Print("dgs-backend: shutting down")
 	srv.Close()

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -41,6 +43,10 @@ func main() {
 		},
 	}
 
+	// One interrupt-aware context spans every figure's runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	want := strings.ToLower(*fig)
 	has := func(f string) bool { return want == "all" || want == f }
 
@@ -48,10 +54,10 @@ func main() {
 		figure2(opt, *csvDir)
 	}
 	if has("3a") || has("3b") || has("summary") {
-		figure3ab(opt, *csvDir, has("3a"), has("3b"), has("summary"))
+		figure3ab(ctx, opt, *csvDir, has("3a"), has("3b"), has("summary"))
 	}
 	if has("3c") {
-		figure3c(opt, *csvDir)
+		figure3c(ctx, opt, *csvDir)
 	}
 }
 
@@ -93,12 +99,12 @@ func figure2(opt dgs.Options, csvDir string) {
 
 // figure3ab runs the three systems once and prints both the backlog and
 // latency views (Fig. 3a, 3b) plus the paper-style summary.
-func figure3ab(opt dgs.Options, csvDir string, show3a, show3b, showSummary bool) {
+func figure3ab(ctx context.Context, opt dgs.Options, csvDir string, show3a, show3b, showSummary bool) {
 	systems := []dgs.System{dgs.SystemBaseline, dgs.SystemDGS, dgs.SystemDGS25}
 	results := make([]*sim.Result, len(systems))
 	for i, sys := range systems {
 		fmt.Fprintf(os.Stderr, "running %v (%d days)…\n", sys, opt.Days)
-		res, err := dgs.Run(sys, opt)
+		res, err := dgs.Run(ctx, sys, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -151,7 +157,7 @@ func figure3ab(opt dgs.Options, csvDir string, show3a, show3b, showSummary bool)
 }
 
 // figure3c compares value functions on the 25% network (Fig. 3c).
-func figure3c(opt dgs.Options, csvDir string) {
+func figure3c(ctx context.Context, opt dgs.Options, csvDir string) {
 	fmt.Println("== Figure 3c: value-function adaptability (latency, minutes) ==")
 	type variant struct {
 		label string
@@ -172,7 +178,7 @@ func figure3c(opt dgs.Options, csvDir string) {
 		o := opt
 		o.Value = v.value
 		fmt.Fprintf(os.Stderr, "running %s…\n", v.label)
-		res, err := dgs.Run(v.sys, o)
+		res, err := dgs.Run(ctx, v.sys, o)
 		if err != nil {
 			fatal(err)
 		}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"dgs"
@@ -72,8 +74,13 @@ func main() {
 		}
 	}
 
+	// Interrupt (ctrl-C) cancels at the next slot boundary instead of
+	// killing the process mid-slot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	startWall := time.Now()
-	res, err := dgs.Run(sys, opt)
+	res, err := dgs.Run(ctx, sys, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgs-sim:", err)
 		os.Exit(1)

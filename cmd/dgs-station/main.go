@@ -29,6 +29,7 @@ func main() {
 	id := flag.Uint("id", 0, "station id")
 	name := flag.String("name", "", "station name (default dgs-<id>)")
 	tx := flag.Bool("tx", false, "transmit-capable (fetches ack digests)")
+	heartbeat := flag.Duration("heartbeat", 0, "keepalive interval (default 15s)")
 	flag.Parse()
 
 	if *name == "" {
@@ -37,24 +38,24 @@ func main() {
 
 	var latest atomic.Pointer[proto.Schedule]
 	agent := &backend.StationAgent{
-		ID:        uint32(*id),
-		Name:      *name,
-		TxCapable: *tx,
+		ID:             uint32(*id),
+		Name:           *name,
+		TxCapable:      *tx,
+		HeartbeatEvery: *heartbeat,
 		OnSchedule: func(s *proto.Schedule) {
 			latest.Store(s)
 			log.Printf("%s: received schedule v%d (%d slots)", *name, s.Version, len(s.Slots))
 		},
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	err := agent.Dial(ctx, *addr)
-	cancel()
-	if err != nil {
+	// The managed session redials with backoff and resumes after any
+	// connection failure; ctx bounds the whole session and ends it on
+	// interrupt.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := agent.Connect(ctx, *addr); err != nil {
 		log.Fatalf("dgs-station: %v", err)
 	}
 	log.Printf("%s: connected to %s (tx=%v)", *name, *addr, *tx)
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
 
 	rng := rand.New(rand.NewSource(int64(*id)))
 	nextChunk := uint64(1)
@@ -63,7 +64,7 @@ func main() {
 
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			log.Printf("%s: shutting down", *name)
 			agent.Close()
 			return

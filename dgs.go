@@ -1,7 +1,7 @@
 // Package dgs is the public facade of the DGS reproduction: one-call
 // construction and execution of the paper's evaluation systems (§4).
 //
-//	res, err := dgs.Run(dgs.SystemDGS, dgs.Options{Days: 2})
+//	res, err := dgs.Run(ctx, dgs.SystemDGS, dgs.Options{Days: 2})
 //
 // The three systems of Fig. 3:
 //
@@ -19,6 +19,7 @@
 package dgs
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -244,13 +245,15 @@ func Config(sys System, opt Options) (sim.Config, error) {
 	return cfg, nil
 }
 
-// Run executes one system and returns its result distributions.
-func Run(sys System, opt Options) (*sim.Result, error) {
+// Run executes one system and returns its result distributions. ctx
+// cancels the run at the next slot boundary; multi-day runs can therefore
+// be given deadlines or interrupted on SIGINT without corrupting state.
+func Run(ctx context.Context, sys System, opt Options) (*sim.Result, error) {
 	cfg, err := Config(sys, opt)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg)
+	return sim.Run(ctx, cfg)
 }
 
 // SeedsResult aggregates a multi-seed study of one system.
@@ -263,9 +266,10 @@ type SeedsResult struct {
 }
 
 // RunSeeds executes a system across n seeds (population and weather both
-// vary) for confidence-interval reporting. Seeds run sequentially; use
+// vary) for confidence-interval reporting. Seeds run sequentially and ctx
+// is honored both between seeds and at every slot boundary within one; use
 // small Options for wide sweeps.
-func RunSeeds(sys System, opt Options, n int) (*SeedsResult, error) {
+func RunSeeds(ctx context.Context, sys System, opt Options, n int) (*SeedsResult, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dgs: need at least one seed")
 	}
@@ -273,7 +277,7 @@ func RunSeeds(sys System, opt Options, n int) (*SeedsResult, error) {
 	for k := 0; k < n; k++ {
 		o := opt
 		o.Seed = opt.Seed + int64(k)*1000
-		res, err := Run(sys, o)
+		res, err := Run(ctx, sys, o)
 		if err != nil {
 			return nil, fmt.Errorf("dgs: seed %d: %w", k, err)
 		}

@@ -1,6 +1,7 @@
 package dgs
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -83,7 +84,7 @@ func TestConfigValueAndMatcherValidation(t *testing.T) {
 }
 
 func TestRunTinyDGS(t *testing.T) {
-	res, err := Run(SystemDGS, tiny())
+	res, err := Run(context.Background(), SystemDGS, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestPopulationBeams(t *testing.T) {
 func TestRunSeeds(t *testing.T) {
 	opt := tiny()
 	opt.Days = 1
-	res, err := RunSeeds(SystemDGS, opt, 3)
+	res, err := RunSeeds(context.Background(), SystemDGS, opt, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestRunSeeds(t *testing.T) {
 	if same && res.PerSeed[0].DeliveredGB == res.PerSeed[1].DeliveredGB {
 		t.Error("all seeds produced identical results")
 	}
-	if _, err := RunSeeds(SystemDGS, opt, 0); err == nil {
+	if _, err := RunSeeds(context.Background(), SystemDGS, opt, 0); err == nil {
 		t.Error("zero seeds accepted")
 	}
 }

@@ -34,16 +34,19 @@ func main() {
 	}
 	fmt.Printf("satellite holds %.1f GB pending\n", store.PendingBits()/8e9)
 
-	// Two stations: a receive-only node and a transmit-capable one.
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Two stations: a receive-only node and a transmit-capable one. Connect
+	// (rather than Dial) gives each a managed session: if the link to the
+	// backend drops mid-run, the agent redials with backoff, resumes via its
+	// report sequence number, and Report still collates exactly once.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	rx := &backend.StationAgent{ID: 42, Name: "rx-node"}
-	if err := rx.Dial(ctx, addr.String()); err != nil {
+	if err := rx.Connect(ctx, addr.String()); err != nil {
 		log.Fatal(err)
 	}
 	defer rx.Close()
 	tx := &backend.StationAgent{ID: 7, Name: "tx-node", TxCapable: true}
-	if err := tx.Dial(ctx, addr.String()); err != nil {
+	if err := tx.Connect(ctx, addr.String()); err != nil {
 		log.Fatal(err)
 	}
 	defer tx.Close()

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	opt := dgs.Options{
 		Days:        1,
 		Satellites:  40,
@@ -31,7 +33,7 @@ func main() {
 		S     metrics.Summary
 	}
 	for _, sys := range []dgs.System{dgs.SystemBaseline, dgs.SystemDGS, dgs.SystemDGS25} {
-		res, err := dgs.Run(sys, opt)
+		res, err := dgs.Run(ctx, sys, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	base := dgs.Options{
 		Days:        1,
 		Satellites:  30,
@@ -26,7 +28,7 @@ func main() {
 	for _, v := range []dgs.ValueName{dgs.ValueLatency, dgs.ValueThroughput} {
 		opt := base
 		opt.Value = v
-		res, err := dgs.Run(dgs.SystemDGS, opt)
+		res, err := dgs.Run(ctx, dgs.SystemDGS, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +50,7 @@ func main() {
 		LonMinRad: -10 * astro.Deg2Rad, LonMaxRad: 30 * astro.Deg2Rad,
 		Boost: 5,
 	}
-	res, err := sim.Run(cfg)
+	res, err := sim.Run(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+package backend
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dgs/internal/proto"
+)
+
+// Collator is the backend's ack-collation state: which chunks of which
+// satellite have reached the ground, and which of those each satellite has
+// been told about. It is safe for concurrent use.
+//
+// Reports carrying a nonzero Seq are deduplicated per station: a report
+// whose sequence number is not greater than the station's last applied one
+// is dropped as a replay. Combined with the agents' replay-after-reconnect
+// discipline this collates every receipt exactly once no matter how often
+// the underlying connections fail.
+type Collator struct {
+	mu sync.Mutex
+	// received[sat][chunk] = ground reception time.
+	received map[uint32]map[uint64]time.Time
+	// acked[sat][chunk] marks chunks already uploaded in an ack digest.
+	acked map[uint32]map[uint64]bool
+	bits  map[uint32]uint64
+	// lastSeq[station] is the highest applied report sequence number.
+	lastSeq map[uint32]uint64
+	replays int
+}
+
+// NewCollator returns an empty collator.
+func NewCollator() *Collator {
+	return &Collator{
+		received: make(map[uint32]map[uint64]time.Time),
+		acked:    make(map[uint32]map[uint64]bool),
+		bits:     make(map[uint32]uint64),
+		lastSeq:  make(map[uint32]uint64),
+	}
+}
+
+// Report records chunk receipts from a station. It returns false when the
+// report is a replay (its Seq was already applied) and was dropped.
+func (c *Collator) Report(r *proto.ChunkReport) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.Seq != 0 {
+		if r.Seq <= c.lastSeq[r.StationID] {
+			c.replays++
+			return false
+		}
+		c.lastSeq[r.StationID] = r.Seq
+	}
+	m := c.received[r.Sat]
+	if m == nil {
+		m = make(map[uint64]time.Time)
+		c.received[r.Sat] = m
+	}
+	for _, ch := range r.Chunks {
+		if _, dup := m[ch.ID]; !dup {
+			m[ch.ID] = ch.Received
+			c.bits[r.Sat] += ch.Bits
+		}
+	}
+	return true
+}
+
+// LastSeq returns the highest report sequence number applied for a
+// station — the resume point handed to reconnecting agents.
+func (c *Collator) LastSeq(station uint32) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeq[station]
+}
+
+// Replays returns how many sequenced reports were dropped as duplicates.
+func (c *Collator) Replays() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replays
+}
+
+// Digest returns the cumulative ack set for a satellite: every chunk
+// received at or before cutoff that has not yet been digested. Chunk IDs
+// are sorted for determinism. Calling Digest marks the chunks as acked.
+func (c *Collator) Digest(sat uint32, cutoff time.Time) *proto.AckDigest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.acked[sat]
+	if a == nil {
+		a = make(map[uint64]bool)
+		c.acked[sat] = a
+	}
+	d := &proto.AckDigest{Sat: sat}
+	for id, at := range c.received[sat] {
+		if !a[id] && !at.After(cutoff) {
+			d.ChunkIDs = append(d.ChunkIDs, id)
+			a[id] = true
+		}
+	}
+	sort.Slice(d.ChunkIDs, func(i, j int) bool { return d.ChunkIDs[i] < d.ChunkIDs[j] })
+	return d
+}
+
+// ReceivedBits returns the total bits on the ground for a satellite.
+func (c *Collator) ReceivedBits(sat uint32) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bits[sat]
+}
+
+// ReceivedChunks returns how many distinct chunks have landed for sat.
+func (c *Collator) ReceivedChunks(sat uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.received[sat])
+}

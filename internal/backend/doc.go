@@ -1,0 +1,31 @@
+// Package backend implements the DGS backend scheduler service (paper
+// Fig. 1): the Internet-side component that collects chunk receipts from
+// receive-only ground stations, collates them into per-satellite cumulative
+// acks for transmit-capable stations to upload, and distributes downlink
+// schedules to every station.
+//
+// The package has two halves: Collator, the pure state machine (also usable
+// in-process), and Server/StationAgent, the TCP endpoints speaking
+// internal/proto.
+//
+// # Fault tolerance
+//
+// Station↔backend links ride commodity Internet connections, so churn is
+// the norm (Zhao et al.; Kim et al.). The session layer is built around
+// that:
+//
+//   - Every read and write on both ends carries an I/O deadline; a wedged
+//     peer is dropped instead of leaking a goroutine.
+//   - Agents send application-level heartbeats so idle sessions stay
+//     inside the server's read deadline, and detect dead servers through
+//     their own.
+//   - A managed agent (Connect) redials automatically with exponential
+//     backoff plus jitter, then resumes its session: the backend answers a
+//     Resume probe with the last collated report sequence number, and the
+//     agent replays only newer reports.
+//   - ChunkReports carry per-station monotonic sequence numbers; the
+//     Collator applies each at most once. Receipts are therefore delivered
+//     at-least-once but collated exactly-once, and the digest stream is
+//     identical with or without connection churn (the chaos equivalence
+//     test enforces this under a seeded faultnet schedule).
+package backend

@@ -1,0 +1,394 @@
+// Package faultnet wraps net.Conn/net.Listener with seeded, deterministic
+// fault injection: added latency, byte corruption, mid-stream connection
+// cuts (resets), refused connections, and timed network partitions. It is
+// the chaos substrate for the station↔backend session layer: a Schedule is
+// derived entirely from a seed, so a failing run reproduces by re-running
+// with the same seed.
+//
+// Two layers are exposed:
+//
+//   - Faults + Wrap: a fully explicit per-connection fault plan (exact
+//     byte offsets to corrupt or cut), for targeted tests of decoder and
+//     session error paths.
+//   - Schedule + NewListener: a seeded generator that draws a fresh fault
+//     plan for every accepted connection, for chaos tests that hammer a
+//     whole server.
+//
+// The package is stdlib-only and injects faults synchronously inside
+// Read/Write, so no background goroutines exist and -race runs stay
+// meaningful for the code under test.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is returned (wrapped in net.OpError-free form) by reads and
+// writes that the fault plan cut or partitioned away.
+var ErrInjected = errors.New("faultnet: injected connection failure")
+
+// corruptXOR is the pattern XORed into corrupted bytes. Nonzero in every
+// nibble so a flip is never a no-op.
+const corruptXOR = 0x55
+
+// Stats counts the faults a listener or connection actually injected.
+// All fields are read/written atomically; tests use them to prove the
+// schedule really fired.
+type Stats struct {
+	Cuts      atomic.Int64 // connections reset mid-stream
+	Flips     atomic.Int64 // bytes corrupted
+	Delays    atomic.Int64 // injected latency events
+	Refused   atomic.Int64 // connections refused at accept
+	Partition atomic.Int64 // reads/writes killed by a partition window
+}
+
+// Faults is one connection's deterministic fault plan. Offsets are
+// absolute positions in the byte stream of that direction (0 = first byte
+// after Wrap). The zero value injects nothing.
+type Faults struct {
+	// CutReadAt / CutWriteAt close the connection when the cumulative
+	// byte count of that direction reaches the offset (<= 0: never). A cut
+	// mid-buffer delivers the prefix first, so peers observe a partial
+	// frame followed by a reset — the "mid-frame reset" case.
+	CutReadAt  int64
+	CutWriteAt int64
+	// FlipReadAt / FlipWriteAt corrupt (XOR 0x55) the bytes at the given
+	// stream offsets.
+	FlipReadAt  []int64
+	FlipWriteAt []int64
+	// Delay sleeps before I/O each time another DelayEveryBytes bytes have
+	// moved in that direction (0: no delay).
+	Delay           time.Duration
+	DelayEveryBytes int64
+
+	// Gate, when non-nil, subjects the connection to timed partitions.
+	Gate *Gate
+	// Stats, when non-nil, receives fault counters.
+	Stats *Stats
+}
+
+// Gate is a shared partition clock: while inside any window, every
+// associated connection fails its reads and writes and new connections are
+// refused. Windows are relative to the gate's start time.
+type Gate struct {
+	start   time.Time
+	windows []Window
+}
+
+// Window is one partition interval, relative to the Gate start.
+type Window struct {
+	After time.Duration // partition begins this long after start
+	Dur   time.Duration // and lasts this long
+}
+
+// NewGate starts a partition clock now.
+func NewGate(windows []Window) *Gate {
+	return &Gate{start: time.Now(), windows: windows}
+}
+
+// Blocked reports whether the partition is active at time t.
+func (g *Gate) Blocked(t time.Time) bool {
+	if g == nil {
+		return false
+	}
+	elapsed := t.Sub(g.start)
+	for _, w := range g.windows {
+		if elapsed >= w.After && elapsed < w.After+w.Dur {
+			return true
+		}
+	}
+	return false
+}
+
+// Conn is a net.Conn with an attached fault plan.
+type Conn struct {
+	net.Conn
+	f Faults
+
+	mu       sync.Mutex
+	readOff  int64
+	writeOff int64
+	cut      bool
+}
+
+// Wrap attaches a fault plan to a connection. The plan's flip offsets are
+// sorted internally; the caller's slices are not modified.
+func Wrap(c net.Conn, f Faults) *Conn {
+	f.FlipReadAt = sortedCopy(f.FlipReadAt)
+	f.FlipWriteAt = sortedCopy(f.FlipWriteAt)
+	return &Conn{Conn: c, f: f}
+}
+
+func sortedCopy(v []int64) []int64 {
+	out := append([]int64(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (c *Conn) countDelay(off, n int64) bool {
+	if c.f.Delay <= 0 || c.f.DelayEveryBytes <= 0 {
+		return false
+	}
+	return (off+n)/c.f.DelayEveryBytes > off/c.f.DelayEveryBytes
+}
+
+// fail closes the underlying connection and records a cut.
+func (c *Conn) fail(counter *atomic.Int64) error {
+	if !c.cut {
+		c.cut = true
+		c.Conn.Close()
+		if c.f.Stats != nil {
+			counter.Add(1)
+		}
+	}
+	return ErrInjected
+}
+
+// Read applies the fault plan to inbound bytes.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if c.f.Gate.Blocked(time.Now()) {
+		err := c.fail(&statsOf(c.f.Stats).Partition)
+		c.mu.Unlock()
+		return 0, err
+	}
+	off := c.readOff
+	// Cap the read so a cut lands exactly at its offset: the prefix is
+	// delivered, the next call fails.
+	max := len(p)
+	if c.f.CutReadAt > 0 {
+		if off >= c.f.CutReadAt {
+			err := c.fail(&statsOf(c.f.Stats).Cuts)
+			c.mu.Unlock()
+			return 0, err
+		}
+		if rem := c.f.CutReadAt - off; int64(max) > rem {
+			max = int(rem)
+		}
+	}
+	delay := c.countDelay(off, int64(max))
+	c.mu.Unlock()
+
+	if delay {
+		if c.f.Stats != nil {
+			c.f.Stats.Delays.Add(1)
+		}
+		time.Sleep(c.f.Delay)
+	}
+	n, err := c.Conn.Read(p[:max])
+
+	c.mu.Lock()
+	for _, at := range c.f.FlipReadAt {
+		if at >= off && at < off+int64(n) {
+			p[at-off] ^= corruptXOR
+			if c.f.Stats != nil {
+				c.f.Stats.Flips.Add(1)
+			}
+		}
+	}
+	c.readOff += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write applies the fault plan to outbound bytes.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if c.f.Gate.Blocked(time.Now()) {
+		err := c.fail(&statsOf(c.f.Stats).Partition)
+		c.mu.Unlock()
+		return 0, err
+	}
+	off := c.writeOff
+	max := len(p)
+	cutNow := false
+	if c.f.CutWriteAt > 0 {
+		if off >= c.f.CutWriteAt {
+			err := c.fail(&statsOf(c.f.Stats).Cuts)
+			c.mu.Unlock()
+			return 0, err
+		}
+		if rem := c.f.CutWriteAt - off; int64(max) > rem {
+			max = int(rem)
+			cutNow = true // deliver the prefix, then reset
+		}
+	}
+	// Corrupt a copy so the caller's buffer is untouched.
+	buf := p[:max]
+	for _, at := range c.f.FlipWriteAt {
+		if at >= off && at < off+int64(max) {
+			if &buf[0] == &p[0] {
+				buf = append([]byte(nil), p[:max]...)
+			}
+			buf[at-off] ^= corruptXOR
+			if c.f.Stats != nil {
+				c.f.Stats.Flips.Add(1)
+			}
+		}
+	}
+	delay := c.countDelay(off, int64(max))
+	c.mu.Unlock()
+
+	if delay {
+		if c.f.Stats != nil {
+			c.f.Stats.Delays.Add(1)
+		}
+		time.Sleep(c.f.Delay)
+	}
+	n, err := c.Conn.Write(buf)
+
+	c.mu.Lock()
+	c.writeOff += int64(n)
+	if cutNow && err == nil {
+		err = c.fail(&statsOf(c.f.Stats).Cuts)
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	// Report the full caller length only when nothing was held back.
+	if n == len(p) {
+		return n, nil
+	}
+	return n, ErrInjected
+}
+
+// statsOf avoids nil checks at every counter bump site.
+var discard Stats
+
+func statsOf(s *Stats) *Stats {
+	if s == nil {
+		return &discard
+	}
+	return s
+}
+
+// Schedule generates per-connection fault plans from a seed. The zero
+// value injects nothing. Mean values are the centers of uniform draws in
+// [mean/2, 3*mean/2), so runs with the same seed are identical and runs
+// with different seeds explore different interleavings.
+type Schedule struct {
+	// Seed drives every draw. Connections are numbered in accept order;
+	// connection k's plan depends only on (Seed, k).
+	Seed int64
+	// CutMeanBytes cuts each connection after roughly this many bytes in
+	// each direction (0: never). The target grows by CutGrowth per accepted
+	// connection (default 1.5 when Growth is 0) so reconnecting sessions
+	// are guaranteed eventual progress.
+	CutMeanBytes int64
+	CutGrowth    float64
+	// FlipMeanBytes corrupts roughly one byte per this many bytes moved
+	// (0: never).
+	FlipMeanBytes int64
+	// Delay + DelayEveryBytes add latency (see Faults).
+	Delay           time.Duration
+	DelayEveryBytes int64
+	// Partitions are timed windows (relative to listener creation) during
+	// which live connections are killed and new ones refused.
+	Partitions []Window
+	// RefuseFirst refuses the first N connection attempts outright,
+	// exercising dial-level retry.
+	RefuseFirst int
+}
+
+// Listener wraps an inner listener with a Schedule.
+type Listener struct {
+	inner net.Listener
+	sched Schedule
+	gate  *Gate
+	// Stats aggregates faults across every accepted connection.
+	Stats Stats
+
+	mu  sync.Mutex
+	idx int
+}
+
+// NewListener derives the fault gate and per-connection plans from
+// sched.Seed. The partition clock starts now.
+func NewListener(inner net.Listener, sched Schedule) *Listener {
+	return &Listener{inner: inner, sched: sched, gate: NewGate(sched.Partitions)}
+}
+
+// Accept wraps the next connection in its scheduled fault plan. Refused
+// and partitioned connections are closed immediately and the accept loop
+// continues — the caller only ever sees usable (if doomed) connections.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		idx := l.idx
+		l.idx++
+		l.mu.Unlock()
+		if idx < l.sched.RefuseFirst || l.gate.Blocked(time.Now()) {
+			l.Stats.Refused.Add(1)
+			c.Close()
+			continue
+		}
+		return Wrap(c, l.planFor(idx)), nil
+	}
+}
+
+// planFor draws connection idx's fault plan. Deterministic in (Seed, idx).
+func (l *Listener) planFor(idx int) Faults {
+	rng := rand.New(rand.NewSource(l.sched.Seed*1_000_003 + int64(idx)))
+	f := Faults{
+		Delay:           l.sched.Delay,
+		DelayEveryBytes: l.sched.DelayEveryBytes,
+		Gate:            l.gate,
+		Stats:           &l.Stats,
+	}
+	draw := func(mean int64) int64 {
+		return mean/2 + rng.Int63n(mean) // uniform in [mean/2, 3*mean/2)
+	}
+	if m := l.sched.CutMeanBytes; m > 0 {
+		growth := l.sched.CutGrowth
+		if growth <= 1 {
+			growth = 1.5
+		}
+		scale := 1.0
+		for k := 0; k < idx && scale < 1e6; k++ {
+			scale *= growth
+		}
+		m = int64(float64(m) * scale)
+		f.CutReadAt = draw(m)
+		f.CutWriteAt = draw(m)
+	}
+	if m := l.sched.FlipMeanBytes; m > 0 {
+		// Lay corruption offsets out to a generous horizon; connections are
+		// usually cut or drained long before.
+		const maxFlips = 64
+		off := int64(0)
+		for k := 0; k < maxFlips; k++ {
+			off += 1 + draw(m)
+			if rng.Intn(2) == 0 {
+				f.FlipReadAt = append(f.FlipReadAt, off)
+			} else {
+				f.FlipWriteAt = append(f.FlipWriteAt, off)
+			}
+		}
+	}
+	return f
+}
+
+// Close closes the inner listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the inner listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }

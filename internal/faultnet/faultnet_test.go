@@ -1,0 +1,200 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns a faulted writer end and the raw reader end.
+func pipePair(f Faults) (w *Conn, r net.Conn) {
+	a, b := net.Pipe()
+	return Wrap(a, f), b
+}
+
+func TestCutWriteDeliversPrefixThenResets(t *testing.T) {
+	w, r := pipePair(Faults{CutWriteAt: 10})
+	got := make([]byte, 64)
+	var n int
+	var rerr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n, rerr = io.ReadFull(r, got)
+	}()
+	payload := bytes.Repeat([]byte{0xAB}, 40)
+	wn, werr := w.Write(payload)
+	if werr == nil {
+		t.Fatal("write across the cut succeeded")
+	}
+	if wn != 10 {
+		t.Fatalf("wrote %d bytes, want the 10-byte prefix", wn)
+	}
+	<-done
+	if n != 10 || rerr == nil {
+		t.Fatalf("peer read %d bytes, err %v; want 10 + reset", n, rerr)
+	}
+	// The connection stays dead.
+	if _, err := w.Write([]byte{1}); err == nil {
+		t.Fatal("write after cut succeeded")
+	}
+}
+
+func TestCutRead(t *testing.T) {
+	a, b := net.Pipe()
+	fr := Wrap(b, Faults{CutReadAt: 5})
+	go func() {
+		a.Write(bytes.Repeat([]byte{1}, 20))
+	}()
+	buf := make([]byte, 20)
+	n, err := fr.Read(buf)
+	if n != 5 || err != nil {
+		t.Fatalf("first read = %d, %v; want 5, nil", n, err)
+	}
+	if _, err := fr.Read(buf); err == nil {
+		t.Fatal("read past the cut succeeded")
+	}
+}
+
+func TestFlipCorruptsExactOffsets(t *testing.T) {
+	var st Stats
+	w, r := pipePair(Faults{FlipWriteAt: []int64{3, 7}, Stats: &st})
+	src := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]byte(nil), src...)
+	got := make([]byte, len(src))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.ReadFull(r, got)
+	}()
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	want := append([]byte(nil), orig...)
+	want[3] ^= corruptXOR
+	want[7] ^= corruptXOR
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % x want % x", got, want)
+	}
+	if !bytes.Equal(src, orig) {
+		t.Fatal("caller's buffer was mutated")
+	}
+	if st.Flips.Load() != 2 {
+		t.Fatalf("flips = %d, want 2", st.Flips.Load())
+	}
+}
+
+func TestGateKillsDuringWindow(t *testing.T) {
+	g := &Gate{start: time.Now().Add(-time.Second), windows: []Window{{After: 0, Dur: time.Hour}}}
+	w, _ := pipePair(Faults{Gate: g})
+	if _, err := w.Write([]byte{1}); err == nil {
+		t.Fatal("write during partition succeeded")
+	}
+	if g.Blocked(g.start.Add(2 * time.Hour)) {
+		t.Fatal("partition outlived its window")
+	}
+	if (*Gate)(nil).Blocked(time.Now()) {
+		t.Fatal("nil gate blocked")
+	}
+}
+
+func TestSchedulePlansAreDeterministic(t *testing.T) {
+	sched := Schedule{Seed: 42, CutMeanBytes: 4096, FlipMeanBytes: 1024}
+	a := &Listener{sched: sched}
+	b := &Listener{sched: sched}
+	for idx := 0; idx < 5; idx++ {
+		pa, pb := a.planFor(idx), b.planFor(idx)
+		pa.Gate, pa.Stats, pb.Gate, pb.Stats = nil, nil, nil, nil
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("conn %d: plans differ:\n%+v\n%+v", idx, pa, pb)
+		}
+		if pa.CutReadAt <= 0 || len(pa.FlipReadAt)+len(pa.FlipWriteAt) == 0 {
+			t.Fatalf("conn %d: empty plan %+v", idx, pa)
+		}
+	}
+	// Cut offsets grow with the connection index (progress guarantee).
+	if a.planFor(6).CutReadAt <= a.planFor(0).CutReadAt {
+		t.Fatal("cut offsets do not grow across reconnects")
+	}
+}
+
+func TestListenerRefusesAndFaults(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewListener(inner, Schedule{Seed: 7, RefuseFirst: 2, CutMeanBytes: 64})
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The server side: echo until the fault plan kills the conn.
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c)
+	}()
+
+	// First two dials are refused (connection closed immediately); the
+	// accept loop must hide them from the server.
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.SetDeadline(time.Now().Add(5 * time.Second))
+		// Push until the echo dies; refused conns die on the first read.
+		alive := 0
+		buf := make([]byte, 32)
+		for k := 0; k < 64; k++ {
+			if _, err := c.Write(buf); err != nil {
+				break
+			}
+			if _, err := c.Read(buf); err != nil {
+				break
+			}
+			alive++
+		}
+		if i < 2 && alive > 0 {
+			t.Fatalf("refused dial %d echoed %d rounds", i, alive)
+		}
+		if i == 2 && alive == 0 {
+			t.Fatal("accepted conn never echoed")
+		}
+	}
+	wg.Wait()
+	if ln.Stats.Refused.Load() != 2 {
+		t.Fatalf("refused = %d, want 2", ln.Stats.Refused.Load())
+	}
+	if ln.Stats.Cuts.Load() == 0 {
+		t.Fatal("scheduled cut never fired")
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	var st Stats
+	w, r := pipePair(Faults{Delay: time.Millisecond, DelayEveryBytes: 8, Stats: &st})
+	go io.Copy(io.Discard, r)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := w.Write(make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Delays.Load() == 0 {
+		t.Fatal("no delays injected")
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("delays did not slow the writer")
+	}
+}

@@ -1,0 +1,125 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"dgs/internal/faultnet"
+)
+
+// readThroughFaults frames m, pushes the bytes through a faultnet-wrapped
+// pipe, and returns what the receiving decoder makes of it. This exercises
+// the decoder's error paths against stream-level faults instead of
+// hand-built byte slices.
+func readThroughFaults(t *testing.T, m Message, f faultnet.Faults) (Message, error) {
+	t.Helper()
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := faultnet.Wrap(a, f)
+	go func() {
+		defer fc.Close()
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Error(err)
+			return
+		}
+		fc.Write(buf.Bytes())
+	}()
+	b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	return Read(b)
+}
+
+var faultMsg = &ChunkReport{StationID: 3, Sat: 9, Seq: 4, Chunks: []ChunkInfo{
+	{ID: 1, Bits: 100, Captured: time.Unix(0, 1).UTC(), Received: time.Unix(0, 2).UTC()},
+}}
+
+func TestFaultConnCorruptPayloadIsBadCRC(t *testing.T) {
+	// Flip one payload byte (offset headerSize+1): CRC must reject.
+	_, err := readThroughFaults(t, faultMsg, faultnet.Faults{FlipWriteAt: []int64{headerSize + 1}})
+	if !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("corrupt payload gave %v, want ErrBadCRC", err)
+	}
+}
+
+func TestFaultConnCorruptMagic(t *testing.T) {
+	_, err := readThroughFaults(t, faultMsg, faultnet.Faults{FlipWriteAt: []int64{0}})
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("corrupt magic gave %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFaultConnCorruptLengthIsTooLarge(t *testing.T) {
+	// The length field's high byte sits at offset 3; XOR 0x55 turns any
+	// sane length into >16 MiB, which must be refused before allocation.
+	_, err := readThroughFaults(t, faultMsg, faultnet.Faults{FlipWriteAt: []int64{3}})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("corrupt length gave %v, want ErrTooLarge", err)
+	}
+}
+
+func TestFaultConnMidFrameCutIsTruncation(t *testing.T) {
+	// Reset after the header plus two payload bytes: the decoder sees a
+	// truncated payload, never a partial message.
+	msg, err := readThroughFaults(t, faultMsg, faultnet.Faults{CutWriteAt: headerSize + 2})
+	if err == nil {
+		t.Fatalf("mid-frame cut decoded as %#v", msg)
+	}
+	if errors.Is(err, ErrBadCRC) || errors.Is(err, ErrBadMagic) {
+		t.Fatalf("mid-frame cut misclassified: %v", err)
+	}
+}
+
+// futureMsg stands in for a frame type this build does not know.
+type futureMsg struct{}
+
+func (futureMsg) Type() MsgType                 { return MsgType(99) }
+func (futureMsg) appendPayload(b []byte) []byte { return b }
+func (futureMsg) decodePayload(b []byte) error  { return nil }
+
+func TestFaultConnUnknownTypeRejected(t *testing.T) {
+	// A well-formed frame of an unknown type (a newer peer) arrives over a
+	// clean faultnet conn: the decoder must reject it as unknown, not
+	// misparse it.
+	_, err := readThroughFaults(t, futureMsg{}, faultnet.Faults{})
+	if !errors.Is(err, ErrUnknownMsg) {
+		t.Fatalf("unknown type gave %v, want ErrUnknownMsg", err)
+	}
+}
+
+func TestFaultConnCleanPathStillDecodes(t *testing.T) {
+	got, err := readThroughFaults(t, faultMsg, faultnet.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.(*ChunkReport)
+	if r.Seq != faultMsg.Seq || len(r.Chunks) != 1 || r.Chunks[0].ID != 1 {
+		t.Fatalf("round trip through clean faultnet conn: %+v", r)
+	}
+}
+
+func TestFaultConnCorruptionSweepNeverMisdecodes(t *testing.T) {
+	// Integrity property: whatever single byte the fault schedule corrupts,
+	// the decoder either errors or — only when the flip lands beyond the
+	// frame — returns the exact original message. It must never return a
+	// silently different message.
+	var ref bytes.Buffer
+	if err := Write(&ref, faultMsg); err != nil {
+		t.Fatal(err)
+	}
+	frameLen := int64(ref.Len())
+	for off := int64(0); off < frameLen; off++ {
+		got, err := readThroughFaults(t, faultMsg, faultnet.Faults{FlipWriteAt: []int64{off}})
+		if err != nil {
+			continue
+		}
+		r, ok := got.(*ChunkReport)
+		if !ok || r.StationID != faultMsg.StationID || r.Sat != faultMsg.Sat ||
+			r.Seq != faultMsg.Seq || len(r.Chunks) != len(faultMsg.Chunks) {
+			t.Fatalf("flip at %d silently decoded %#v", off, got)
+		}
+		t.Fatalf("flip at %d inside the frame decoded cleanly", off)
+	}
+}

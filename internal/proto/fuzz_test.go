@@ -20,12 +20,14 @@ func FuzzRead(f *testing.F) {
 		return buf.Bytes()
 	}
 	valid := [][]byte{
-		seed(&Hello{StationID: 1, TxCapable: true, Name: "x"}),
-		seed(&ChunkReport{StationID: 1, Sat: 2, Chunks: []ChunkInfo{{ID: 3, Bits: 4, Captured: time.Unix(0, 5), Received: time.Unix(0, 6)}}}),
+		seed(&Hello{Version: Version, StationID: 1, TxCapable: true, Name: "x"}),
+		seed(&ChunkReport{StationID: 1, Sat: 2, Seq: 7, Chunks: []ChunkInfo{{ID: 3, Bits: 4, Captured: time.Unix(0, 5), Received: time.Unix(0, 6)}}}),
 		seed(&AckDigest{Sat: 9, ChunkIDs: []uint64{1, 2}}),
 		seed(&Schedule{Version: 1, Issued: time.Unix(0, 0), SlotDur: time.Minute, Slots: []Slot{{Assignments: []Assignment{{Sat: 1, Station: 2, RateBps: 3}}}}}),
 		seed(&OK{}),
-		seed(&Error{Msg: "boom"}),
+		seed(&Error{Code: CodeVersion, Msg: "boom"}),
+		seed(&Heartbeat{Seq: 5, Ack: true}),
+		seed(&Resume{StationID: 3, LastSeq: 11}),
 	}
 	for _, v := range valid {
 		f.Add(v)

@@ -11,6 +11,16 @@
 // Framing is length-prefixed binary with a magic, a type byte, and a CRC-32
 // trailer; payloads are fixed-layout big-endian fields. Frames are capped
 // at MaxFrameSize so a corrupt peer cannot balloon allocations.
+//
+// The payload layout is versioned: Hello carries a protocol version byte
+// and the backend rejects mismatches with an Error frame carrying
+// CodeVersion (ErrVersion client-side), so future frame changes fail fast
+// instead of silently desyncing old stations. Heartbeat and Resume are the
+// session-control messages: heartbeats keep idle connections alive across
+// I/O deadlines, and Resume lets a reconnecting station learn the highest
+// ChunkReport sequence number the backend has collated so it can replay
+// only unacknowledged reports (at-least-once delivery, exactly-once
+// collation).
 package proto
 
 import (
@@ -40,6 +50,27 @@ const (
 	TypeOK
 	// TypeError is a generic failure response with a message.
 	TypeError
+	// TypeHeartbeat is an application-level keepalive ping/pong.
+	TypeHeartbeat
+	// TypeResume carries session-resume state: a station asks, the backend
+	// answers with the last collated report sequence number.
+	TypeResume
+)
+
+// Version is the current wire protocol version, carried in Hello. Bump it
+// whenever a frame layout changes; the backend refuses mismatched
+// stations during the handshake.
+const Version uint8 = 2
+
+// Error codes carried in Error frames.
+const (
+	// CodeGeneric is an unclassified failure.
+	CodeGeneric uint8 = iota
+	// CodeVersion marks a protocol version mismatch during the handshake.
+	CodeVersion
+	// CodeBadRequest marks a request the backend refuses (e.g. a
+	// receive-only station polling for digests).
+	CodeBadRequest
 )
 
 // Framing constants.
@@ -59,6 +90,9 @@ var (
 	ErrBadCRC     = errors.New("proto: crc mismatch")
 	ErrTruncated  = errors.New("proto: truncated payload")
 	ErrUnknownMsg = errors.New("proto: unknown message type")
+	// ErrVersion reports a protocol version mismatch. Error frames with
+	// CodeVersion match it under errors.Is.
+	ErrVersion = errors.New("proto: version mismatch")
 )
 
 // Message is anything that can live in a frame.
@@ -71,8 +105,10 @@ type Message interface {
 	decodePayload(b []byte) error
 }
 
-// Hello introduces a station.
+// Hello introduces a station. Version must be proto.Version; the backend
+// rejects anything else with CodeVersion during the handshake.
 type Hello struct {
+	Version   uint8
 	StationID uint32
 	TxCapable bool
 	Name      string
@@ -82,6 +118,7 @@ type Hello struct {
 func (*Hello) Type() MsgType { return TypeHello }
 
 func (h *Hello) appendPayload(b []byte) []byte {
+	b = append(b, h.Version)
 	b = be32(b, h.StationID)
 	if h.TxCapable {
 		b = append(b, 1)
@@ -93,6 +130,7 @@ func (h *Hello) appendPayload(b []byte) []byte {
 
 func (h *Hello) decodePayload(b []byte) error {
 	d := dec{b: b}
+	h.Version = d.u8()
 	h.StationID = d.u32()
 	h.TxCapable = d.u8() != 0
 	h.Name = d.str()
@@ -108,10 +146,13 @@ type ChunkInfo struct {
 }
 
 // ChunkReport tells the backend which chunks a station received from a
-// satellite.
+// satellite. Seq, when nonzero, is the station's monotonic report sequence
+// number: the backend collates each sequence number at most once, making
+// post-reconnect replays harmless (Seq zero opts out of deduplication).
 type ChunkReport struct {
 	StationID uint32
 	Sat       uint32
+	Seq       uint64
 	Chunks    []ChunkInfo
 }
 
@@ -121,6 +162,7 @@ func (*ChunkReport) Type() MsgType { return TypeChunkReport }
 func (r *ChunkReport) appendPayload(b []byte) []byte {
 	b = be32(b, r.StationID)
 	b = be32(b, r.Sat)
+	b = be64(b, r.Seq)
 	b = be32(b, uint32(len(r.Chunks)))
 	for _, c := range r.Chunks {
 		b = be64(b, c.ID)
@@ -135,6 +177,7 @@ func (r *ChunkReport) decodePayload(b []byte) error {
 	d := dec{b: b}
 	r.StationID = d.u32()
 	r.Sat = d.u32()
+	r.Seq = d.u64()
 	n := d.u32()
 	if d.e == nil && uint64(n)*32 > uint64(len(d.b)-d.off) {
 		return ErrTruncated
@@ -265,15 +308,23 @@ func (*OK) decodePayload(b []byte) error {
 	return nil
 }
 
-// Error is a failure response.
-type Error struct{ Msg string }
+// Error is a failure response. Code classifies the failure (CodeGeneric,
+// CodeVersion, CodeBadRequest) so clients can react without parsing Msg.
+type Error struct {
+	Code uint8
+	Msg  string
+}
 
 // Type implements Message.
 func (*Error) Type() MsgType { return TypeError }
 
-func (e *Error) appendPayload(b []byte) []byte { return str(b, e.Msg) }
+func (e *Error) appendPayload(b []byte) []byte {
+	b = append(b, e.Code)
+	return str(b, e.Msg)
+}
 func (e *Error) decodePayload(b []byte) error {
 	d := dec{b: b}
+	e.Code = d.u8()
 	e.Msg = d.str()
 	return d.err()
 }
@@ -281,6 +332,62 @@ func (e *Error) decodePayload(b []byte) error {
 // Error implements the error interface so responses can be returned
 // directly.
 func (e *Error) Error() string { return "proto: remote error: " + e.Msg }
+
+// Is lets errors.Is(err, ErrVersion) recognize remote version rejections.
+func (e *Error) Is(target error) bool {
+	return target == ErrVersion && e.Code == CodeVersion
+}
+
+// Heartbeat is an application-level keepalive. A peer sends Seq with
+// Ack=false; the other side echoes the same Seq with Ack=true. The traffic
+// keeps both ends inside their read deadlines across idle stretches.
+type Heartbeat struct {
+	Seq uint64
+	Ack bool
+}
+
+// Type implements Message.
+func (*Heartbeat) Type() MsgType { return TypeHeartbeat }
+
+func (h *Heartbeat) appendPayload(b []byte) []byte {
+	b = be64(b, h.Seq)
+	if h.Ack {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func (h *Heartbeat) decodePayload(b []byte) error {
+	d := dec{b: b}
+	h.Seq = d.u64()
+	h.Ack = d.u8() != 0
+	return d.err()
+}
+
+// Resume is the session-resume exchange. A reconnecting station sends
+// {StationID} right after the handshake; the backend replies with the same
+// StationID plus LastSeq, the highest ChunkReport sequence number it has
+// collated for that station. The station then replays only reports with
+// greater sequence numbers.
+type Resume struct {
+	StationID uint32
+	LastSeq   uint64
+}
+
+// Type implements Message.
+func (*Resume) Type() MsgType { return TypeResume }
+
+func (r *Resume) appendPayload(b []byte) []byte {
+	b = be32(b, r.StationID)
+	return be64(b, r.LastSeq)
+}
+
+func (r *Resume) decodePayload(b []byte) error {
+	d := dec{b: b}
+	r.StationID = d.u32()
+	r.LastSeq = d.u64()
+	return d.err()
+}
 
 // Write frames and writes a message.
 func Write(w io.Writer, m Message) error {
@@ -337,6 +444,10 @@ func Read(r io.Reader) (Message, error) {
 		m = &OK{}
 	case TypeError:
 		m = &Error{}
+	case TypeHeartbeat:
+		m = &Heartbeat{}
+	case TypeResume:
+		m = &Resume{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownMsg, typ)
 	}

@@ -28,10 +28,41 @@ func roundTrip(t *testing.T, m Message) Message {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := &Hello{StationID: 42, TxCapable: true, Name: "svalbard"}
+	in := &Hello{Version: Version, StationID: 42, TxCapable: true, Name: "svalbard"}
 	got := roundTrip(t, in).(*Hello)
 	if !reflect.DeepEqual(in, got) {
 		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	for _, in := range []*Heartbeat{{Seq: 7}, {Seq: 1 << 40, Ack: true}} {
+		got := roundTrip(t, in).(*Heartbeat)
+		if !reflect.DeepEqual(in, got) {
+			t.Fatalf("got %+v want %+v", got, in)
+		}
+	}
+}
+
+func TestResumeRoundTrip(t *testing.T) {
+	in := &Resume{StationID: 9, LastSeq: 123456}
+	got := roundTrip(t, in).(*Resume)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestErrorVersionCode(t *testing.T) {
+	in := &Error{Code: CodeVersion, Msg: "speak v2"}
+	got := roundTrip(t, in).(*Error)
+	if got.Code != CodeVersion || got.Msg != "speak v2" {
+		t.Fatalf("got %+v", got)
+	}
+	if !errors.Is(got, ErrVersion) {
+		t.Fatal("CodeVersion error does not match ErrVersion")
+	}
+	if errors.Is(roundTrip(t, &Error{Msg: "x"}).(*Error), ErrVersion) {
+		t.Fatal("generic error matches ErrVersion")
 	}
 }
 
@@ -40,6 +71,7 @@ func TestChunkReportRoundTrip(t *testing.T) {
 	in := &ChunkReport{
 		StationID: 7,
 		Sat:       133,
+		Seq:       41,
 		Chunks: []ChunkInfo{
 			{ID: 1, Bits: 8e8, Captured: now.Add(-time.Hour), Received: now},
 			{ID: 99, Bits: 123, Captured: now.Add(-2 * time.Hour), Received: now.Add(time.Second)},
@@ -172,11 +204,11 @@ func TestLengthLiesRejected(t *testing.T) {
 	// A ChunkReport claiming more chunks than the payload holds.
 	r := &ChunkReport{StationID: 1, Sat: 1}
 	payload := r.appendPayload(nil)
-	// Overwrite the count field with a huge value.
-	payload[8] = 0xFF
-	payload[9] = 0xFF
-	payload[10] = 0xFF
-	payload[11] = 0xFF
+	// Overwrite the count field (after station+sat+seq) with a huge value.
+	payload[16] = 0xFF
+	payload[17] = 0xFF
+	payload[18] = 0xFF
+	payload[19] = 0xFF
 	var fresh ChunkReport
 	if err := fresh.decodePayload(payload); err == nil {
 		t.Fatal("lying count accepted")
@@ -189,6 +221,7 @@ func TestChunkReportPropertyRoundTrip(t *testing.T) {
 		in := &ChunkReport{
 			StationID: rng.Uint32(),
 			Sat:       rng.Uint32(),
+			Seq:       rng.Uint64(),
 		}
 		n := rng.Intn(50)
 		for i := 0; i < n; i++ {
@@ -208,7 +241,7 @@ func TestChunkReportPropertyRoundTrip(t *testing.T) {
 			return false
 		}
 		out := got.(*ChunkReport)
-		if out.StationID != in.StationID || out.Sat != in.Sat || len(out.Chunks) != len(in.Chunks) {
+		if out.StationID != in.StationID || out.Sat != in.Sat || out.Seq != in.Seq || len(out.Chunks) != len(in.Chunks) {
 			return false
 		}
 		for i := range in.Chunks {

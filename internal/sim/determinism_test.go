@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -90,7 +91,7 @@ func TestWorkerCountDeterminism(t *testing.T) {
 	for _, w := range counts {
 		cfg := base
 		cfg.Workers = w
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"time"
@@ -207,8 +208,11 @@ type chunkRx struct {
 	captured   time.Time
 }
 
-// Run executes the simulation and returns the aggregated result.
-func Run(cfg Config) (*Result, error) {
+// Run executes the simulation and returns the aggregated result. ctx is
+// checked at every slot boundary: cancellation stops the run cleanly
+// between slots (never mid-slot, so invariants hold) and returns an error
+// wrapping ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Stations) == 0 || len(cfg.TLEs) == 0 {
 		return nil, fmt.Errorf("sim: need stations and satellites")
@@ -316,6 +320,11 @@ func Run(cfg Config) (*Result, error) {
 
 	stepSec := cfg.Step.Seconds()
 	for now := cfg.Start; now.Before(end); now = now.Add(cfg.Step) {
+		// Cancellation is honored only at slot boundaries so a canceled run
+		// never leaves a slot half-executed.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: canceled at %v: %w", now, err)
+		}
 		// 0. Propagate every satellite once for this slot, through the
 		// shared cache: the fill fans out over the worker pool, and when
 		// the planner already touched this instant it is a pure lookup.

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -26,26 +28,26 @@ func smallCfg(nSat, nGs int) Config {
 func TestRunValidation(t *testing.T) {
 	cfg := smallCfg(3, 6)
 	cfg.Stations = nil
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("empty station set accepted")
 	}
 	cfg = smallCfg(3, 6)
 	cfg.TLEs = nil
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("empty constellation accepted")
 	}
 	cfg = smallCfg(3, 6)
 	for _, gs := range cfg.Stations {
 		gs.TxCapable = false
 	}
-	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "TX-capable") {
+	if _, err := Run(context.Background(), cfg); err == nil || !strings.Contains(err.Error(), "TX-capable") {
 		t.Fatalf("hybrid without TX stations accepted: %v", err)
 	}
 }
 
 func TestHybridRunDeliversData(t *testing.T) {
 	cfg := smallCfg(10, 30)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestClearSkyHasNoMispredictions(t *testing.T) {
 	// With no weather, forecast and truth coincide: planned MODCODs always
 	// decode.
 	cfg := smallCfg(8, 24)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestForecastErrorCausesLoss(t *testing.T) {
 	cfg.WeatherSeed = 11
 	cfg.ForecastErr = 0.9
 	cfg.Duration = 12 * time.Hour
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestForecastErrorCausesLoss(t *testing.T) {
 	}
 	// Oracle forecast for comparison: strictly fewer (or equal) losses.
 	cfg.ForecastErr = 0
-	resOracle, err := Run(cfg)
+	resOracle, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestBaselineSemantics(t *testing.T) {
 	cfg := smallCfg(10, 1)
 	cfg.Stations = dataset.BaselineStations()
 	cfg.Hybrid = false
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,11 +157,11 @@ func TestDGSBeatsBaselineOnLatency(t *testing.T) {
 	base.Stations = dataset.BaselineStations()
 	base.Hybrid = false
 
-	resDGS, err := Run(dgs)
+	resDGS, err := Run(context.Background(), dgs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resBase, err := Run(base)
+	resBase, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +197,11 @@ func TestThroughputValueRaisesTailLatency(t *testing.T) {
 		cfg.Value = v
 		return cfg
 	}
-	resL, err := Run(mk(core.LatencyValue{}))
+	resL, err := Run(context.Background(), mk(core.LatencyValue{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resT, err := Run(mk(core.ThroughputValue{}))
+	resT, err := Run(context.Background(), mk(core.ThroughputValue{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +221,7 @@ func TestDailyBacklogSamples(t *testing.T) {
 	cfg.Duration = 48 * time.Hour
 	days := 0
 	cfg.Progress = func(day int, r *Result) { days = day }
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,11 +240,11 @@ func TestDailyBacklogSamples(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	cfg := smallCfg(6, 18)
 	cfg.Duration = 3 * time.Hour
-	a, err := Run(cfg)
+	a, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,12 +259,12 @@ func TestUplinkRateLimitsPlanAdoption(t *testing.T) {
 	// delivery collapses; with the default uplink, it flows.
 	cfg := smallCfg(8, 24)
 	cfg.Duration = 8 * time.Hour
-	normal, err := Run(cfg)
+	normal, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.UplinkRateBps = 20 // 20 bit/s: a plan never finishes uploading
-	starved, err := Run(cfg)
+	starved, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,11 +296,11 @@ func TestBeamformingTradeoff(t *testing.T) {
 		}
 		return cfg
 	}
-	control, err := Run(mk(false))
+	control, err := Run(context.Background(), mk(false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	beamed, err := Run(mk(true))
+	beamed, err := Run(context.Background(), mk(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,12 +319,12 @@ func TestBeamformingTradeoff(t *testing.T) {
 func TestDaylightImagingHalvesVolume(t *testing.T) {
 	cfg := smallCfg(6, 18)
 	cfg.Duration = 24 * time.Hour
-	full, err := Run(cfg)
+	full, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.DaylightImaging = true
-	day, err := Run(cfg)
+	day, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +338,7 @@ func TestDaylightImagingHalvesVolume(t *testing.T) {
 
 func TestPeakStoragePerSatellite(t *testing.T) {
 	cfg := smallCfg(5, 15)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +365,7 @@ func TestEventDataGetsPriorityLatency(t *testing.T) {
 	cfg.Duration = 12 * time.Hour
 	cfg.EventsPerSatPerDay = 6
 	cfg.EventBits = 0.5 * GB
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,11 +388,36 @@ func TestEventDataGetsPriorityLatency(t *testing.T) {
 func TestNoEventsByDefault(t *testing.T) {
 	cfg := smallCfg(3, 9)
 	cfg.Duration = 2 * time.Hour
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.EventLatencyMin.N() != 0 {
 		t.Fatal("events recorded without injection configured")
+	}
+}
+
+func TestRunHonorsContextCancellation(t *testing.T) {
+	cfg := smallCfg(3, 6)
+
+	// Already-canceled context: no slots execute.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run returned %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-run from the per-day progress callback: the run stops at
+	// the next slot boundary instead of completing all days.
+	cfg.Duration = 48 * time.Hour
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Progress = func(day int, r *Result) {
+		if day == 1 {
+			cancel()
+		}
+	}
+	if _, err := Run(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -23,7 +24,7 @@ func TestSweepWindowEquivalence(t *testing.T) {
 	refCfg := base
 	refCfg.SweepVisibility = true
 	refCfg.Workers = 1
-	ref, err := Run(refCfg)
+	ref, err := Run(context.Background(), refCfg)
 	if err != nil {
 		t.Fatalf("sweep reference: %v", err)
 	}
@@ -31,7 +32,7 @@ func TestSweepWindowEquivalence(t *testing.T) {
 	for _, w := range []int{1, 4, runtime.NumCPU()} {
 		cfg := base
 		cfg.Workers = w
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("windows workers=%d: %v", w, err)
 		}
