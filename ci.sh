@@ -17,6 +17,9 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== importcheck (zero-dependency policy)"
+go run ./tools/importcheck
+
 echo "== go build"
 go build ./...
 

@@ -7,10 +7,21 @@
 //	dgs-sim -system dgs -days 2 -sats 259 -stations 173
 //	dgs-sim -system baseline -days 1 -clear-sky
 //	dgs-sim -system dgs25 -value throughput -matcher optimal
+//
+// Long runs can be interrupted and resumed without losing work: with
+// -checkpoint, ctrl-C saves the engine state at the next slot boundary,
+// and -resume (same scenario flags!) picks the run back up. The resumed
+// run's result is bit-identical to an uninterrupted one. -events streams
+// every simulation event as JSONL for offline analysis:
+//
+//	dgs-sim -days 7 -checkpoint state.json        # ctrl-C saves and exits
+//	dgs-sim -days 7 -resume state.json            # continues to the end
+//	dgs-sim -days 1 -events events.jsonl
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +31,11 @@ import (
 	"dgs"
 	"dgs/internal/sim"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dgs-sim:", err)
+	os.Exit(1)
+}
 
 func main() {
 	system := flag.String("system", "dgs", "system to simulate: baseline, dgs, dgs25")
@@ -36,6 +52,9 @@ func main() {
 	genGB := flag.Float64("gen-gb", 100, "per-satellite capture volume, GB/day")
 	step := flag.Duration("step", 0, "matching slot length (default 1m)")
 	workers := flag.Int("workers", 0, "planning/propagation worker pool size (0 = GOMAXPROCS; result is identical for any value)")
+	checkpointPath := flag.String("checkpoint", "", "on interrupt, save engine state to this file instead of aborting")
+	resumePath := flag.String("resume", "", "resume from a checkpoint file (scenario flags must match the original run)")
+	eventsPath := flag.String("events", "", "stream simulation events to this file as JSONL")
 	quiet := flag.Bool("q", false, "suppress per-day progress")
 	flag.Parse()
 
@@ -74,16 +93,78 @@ func main() {
 		}
 	}
 
-	// Interrupt (ctrl-C) cancels at the next slot boundary instead of
-	// killing the process mid-slot.
+	var recorder *sim.EventRecorder
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		recorder = sim.NewEventRecorder(f)
+		opt.Observers = append(opt.Observers, recorder)
+	}
+
+	cfg, err := dgs.Config(sys, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	var engine *sim.Engine
+	if *resumePath != "" {
+		raw, err := os.ReadFile(*resumePath)
+		if err != nil {
+			fatal(err)
+		}
+		var cp sim.Checkpoint
+		if err := json.Unmarshal(raw, &cp); err != nil {
+			fatal(fmt.Errorf("checkpoint %s: %w", *resumePath, err))
+		}
+		if engine, err = sim.Restore(cfg, &cp); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dgs-sim: resumed %s at %v\n", *resumePath, engine.World().Now())
+	} else {
+		if engine, err = sim.NewEngine(cfg); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Interrupt (ctrl-C) stops at the next slot boundary instead of killing
+	// the process mid-slot; with -checkpoint the state is saved there.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	startWall := time.Now()
-	res, err := dgs.Run(ctx, sys, opt)
+	for !engine.Done() {
+		if ctx.Err() != nil {
+			if *checkpointPath == "" {
+				fatal(fmt.Errorf("sim: canceled at %v: %w", engine.World().Now(), ctx.Err()))
+			}
+			cp, err := engine.Checkpoint()
+			if err != nil {
+				fatal(err)
+			}
+			raw, err := json.Marshal(cp)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*checkpointPath, raw, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dgs-sim: interrupted at %v, state saved to %s (resume with -resume %s)\n",
+				engine.World().Now(), *checkpointPath, *checkpointPath)
+			return
+		}
+		if err := engine.Step(); err != nil {
+			fatal(err)
+		}
+	}
+	res, err := engine.Finalize()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dgs-sim:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if recorder != nil && recorder.Err() != nil {
+		fmt.Fprintf(os.Stderr, "dgs-sim: event stream truncated: %v\n", recorder.Err())
 	}
 
 	lat := res.LatencyMin.Summarize()

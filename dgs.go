@@ -116,6 +116,10 @@ type Options struct {
 	// Workers bounds the planning/propagation worker pool (0 =
 	// GOMAXPROCS). Results are identical for any worker count.
 	Workers int
+	// Observers subscribe to simulation events (sim.EventRecorder,
+	// sim.ContactTrace, or custom instrumentation). Observers never change
+	// the Result.
+	Observers []sim.Observer
 	// Progress, when set, receives per-day callbacks.
 	Progress func(day int, r *sim.Result)
 }
@@ -223,6 +227,7 @@ func Config(sys System, opt Options) (sim.Config, error) {
 		ClearSky:      opt.ClearSky,
 		ForecastErr:   opt.ForecastErr,
 		GenBitsPerDay: opt.GenGBPerDay * sim.GB,
+		Observers:     opt.Observers,
 		Progress:      opt.Progress,
 
 		DaylightImaging:    opt.DaylightImaging,

@@ -1,9 +1,11 @@
+// Scheduler state and its lazily built caches. The planning pipeline is
+// split across sibling files: plan.go (Plan type and PlanEpoch), sweep.go
+// (per-instant visibility evaluation), windows.go (pass-window candidate
+// prediction).
+
 package core
 
 import (
-	"fmt"
-	"math"
-	"slices"
 	"sync"
 	"time"
 
@@ -32,157 +34,6 @@ type SatSnapshot struct {
 	PendingBits float64
 	OldestAge   time.Duration
 	MaxPriority float64
-}
-
-// Assignment is one scheduled link in one slot.
-type Assignment struct {
-	// Sat and Station are population indices.
-	Sat, Station int
-	// PlannedRateBps is the forecast-based rate the satellite is told to
-	// use (its MODCOD choice); the actual channel may turn out worse.
-	PlannedRateBps float64
-	// Weight is the Φ value the matching saw (for diagnostics).
-	Weight float64
-}
-
-// Slot is the schedule for one time step.
-type Slot struct {
-	// Start is the slot start time.
-	Start time.Time
-	// Assignments lists the matched links.
-	Assignments []Assignment
-}
-
-// Plan is a downlink schedule over a horizon, produced at a planning epoch
-// and uploaded to satellites via transmit-capable stations.
-type Plan struct {
-	// Version is a monotonically increasing plan identifier.
-	Version int
-	// Issued is the planning epoch.
-	Issued time.Time
-	// SlotDur is the slot granularity.
-	SlotDur time.Duration
-	// Slots covers [Issued, Issued+len(Slots)*SlotDur).
-	Slots []Slot
-
-	// index is a flat satellite → assignment-position lookup table:
-	// index[k*nSats + sat] holds sat's position in Slots[k].Assignments,
-	// or -1. A flat []int32 instead of a per-slot map: the simulator does
-	// this lookup for every satellite at every step, and the dense table
-	// costs one bounds check and no hashing. PlanEpoch and NewPlan build
-	// the index at construction; plans assembled field-by-field (tests)
-	// fall back to the linear scan until BuildIndex is called.
-	index []int32
-	nSats int
-}
-
-// NewPlan assembles a plan from finished slots and builds its lookup
-// index, so hand-assembled plans get O(1) AssignmentFor instead of
-// silently falling back to the per-step linear scan.
-func NewPlan(version int, issued time.Time, slotDur time.Duration, slots []Slot) *Plan {
-	p := &Plan{Version: version, Issued: issued, SlotDur: slotDur, Slots: slots}
-	p.BuildIndex()
-	return p
-}
-
-// BuildIndex (re)builds the per-slot satellite→assignment lookup. Call it
-// after constructing or mutating Slots by hand; PlanEpoch and NewPlan call
-// it for every plan they produce.
-func (p *Plan) BuildIndex() {
-	nSats := 0
-	for k := range p.Slots {
-		for _, a := range p.Slots[k].Assignments {
-			if a.Sat >= nSats {
-				nSats = a.Sat + 1
-			}
-		}
-	}
-	p.nSats = nSats
-	need := len(p.Slots) * nSats
-	if cap(p.index) >= need {
-		p.index = p.index[:need]
-	} else {
-		p.index = make([]int32, need)
-	}
-	for i := range p.index {
-		p.index[i] = -1
-	}
-	for k := range p.Slots {
-		base := k * nSats
-		for j, a := range p.Slots[k].Assignments {
-			p.index[base+a.Sat] = int32(j)
-		}
-	}
-	if p.index == nil {
-		// Mark even an all-empty plan as indexed so AssignmentFor never
-		// scans.
-		p.index = make([]int32, 0)
-	}
-}
-
-// AssignmentFor returns the planned station for a satellite at time t, or
-// (-1, 0) when the plan has no assignment (out of horizon or unmatched).
-func (p *Plan) AssignmentFor(sat int, t time.Time) (stationID int, rateBps float64) {
-	if p == nil || len(p.Slots) == 0 || t.Before(p.Issued) {
-		return -1, 0
-	}
-	idx := int(t.Sub(p.Issued) / p.SlotDur)
-	if idx < 0 || idx >= len(p.Slots) {
-		return -1, 0
-	}
-	if p.index != nil {
-		if sat < 0 || sat >= p.nSats {
-			return -1, 0
-		}
-		if j := p.index[idx*p.nSats+sat]; j >= 0 {
-			a := p.Slots[idx].Assignments[j]
-			return a.Station, a.PlannedRateBps
-		}
-		return -1, 0
-	}
-	for _, a := range p.Slots[idx].Assignments {
-		if a.Sat == sat {
-			return a.Station, a.PlannedRateBps
-		}
-	}
-	return -1, 0
-}
-
-// AssignedSlotCount returns the number of slots in which the satellite has
-// an assignment (the hybrid control plane sizes plan uploads with it).
-func (p *Plan) AssignedSlotCount(sat int) int {
-	if p == nil {
-		return 0
-	}
-	n := 0
-	if p.index != nil {
-		if sat < 0 || sat >= p.nSats {
-			return 0
-		}
-		for k := range p.Slots {
-			if p.index[k*p.nSats+sat] >= 0 {
-				n++
-			}
-		}
-		return n
-	}
-	for k := range p.Slots {
-		for _, a := range p.Slots[k].Assignments {
-			if a.Sat == sat {
-				n++
-				break
-			}
-		}
-	}
-	return n
-}
-
-// Covers reports whether the plan has a slot for time t.
-func (p *Plan) Covers(t time.Time) bool {
-	if p == nil || len(p.Slots) == 0 {
-		return false
-	}
-	return !t.Before(p.Issued) && t.Before(p.Issued.Add(time.Duration(len(p.Slots))*p.SlotDur))
 }
 
 // Scheduler builds downlink plans for a station network and constellation.
@@ -267,6 +118,15 @@ type Scheduler struct {
 	fcMu    sync.RWMutex
 	fcCache map[int64][]weather.Sample // 2 samples per station: truth, alt
 }
+
+// PlanVersion returns the version of the most recently produced plan (0
+// before the first epoch).
+func (s *Scheduler) PlanVersion() int { return s.nextVersion }
+
+// SetPlanVersion fast-forwards the version counter so the next PlanEpoch
+// produces version v+1. Checkpoint restore uses it to keep plan versions
+// monotonic across a resume; any other use risks duplicate versions.
+func (s *Scheduler) SetPlanVersion(v int) { s.nextVersion = v }
 
 // cell returns the 10°×10° bucket for a latitude/longitude in radians.
 func cell(latRad, lonRad float64) [2]int {
@@ -418,492 +278,4 @@ func (s *Scheduler) maxRange() float64 {
 		return 3500
 	}
 	return s.MaxRangeKm
-}
-
-// VisibleEdge is a feasible link with its geometry and predicted rate.
-type VisibleEdge struct {
-	Sat, Station int
-	Geometry     linkbudget.Geometry
-	RateBps      float64
-}
-
-// condScratch is the per-worker evaluation scratch: the per-station
-// blended weather conditions for one (instant, lead) evaluation, plus the
-// worker's private front cache over the shared attenuation memo. The
-// condition buffers are reset per slot; the memo view persists across
-// every slot (and epoch) the worker processes.
-type condScratch struct {
-	cond  []linkbudget.Conditions
-	known []bool
-	view  *linkbudget.MemoView
-}
-
-func (cs *condScratch) reset(n int) {
-	if cap(cs.cond) >= n {
-		cs.cond = cs.cond[:n]
-		cs.known = cs.known[:n]
-	} else {
-		cs.cond = make([]linkbudget.Conditions, n)
-		cs.known = make([]bool, n)
-	}
-	for j := range cs.known {
-		cs.known[j] = false
-	}
-}
-
-// evalCtx bundles the per-call state the edge evaluation needs, so the
-// sweep and the pass-window path run the exact same test (any divergence
-// would break their bit-identity contract).
-type evalCtx struct {
-	s        *Scheduler
-	stGeo    []stationGeom
-	memo     *linkbudget.AttenMemo
-	memoPath []int
-	maxRange float64
-	comp     []weather.Sample
-	lead     time.Duration
-	cs       *condScratch
-}
-
-// rateAt serves the forecast rate through the worker's private memo view
-// when it has one (PlanEpoch workers), else through the shared locked
-// memo (one-shot Visibility calls). Both return the identical value: a
-// view only fronts memo entries, which are pure functions of the
-// quantized inputs.
-func (ec *evalCtx) rateAt(j int, t linkbudget.Terminal, geo linkbudget.Geometry, w linkbudget.Conditions) float64 {
-	if v := ec.cs.view; v != nil {
-		return v.RateBpsAt(ec.memoPath[j], t, geo, w)
-	}
-	return ec.memo.RateBpsAt(ec.memoPath[j], t, geo, w)
-}
-
-func (ec *evalCtx) condFor(j int) linkbudget.Conditions {
-	cs := ec.cs
-	if !cs.known[j] {
-		if ec.comp != nil {
-			w := ec.s.Forecast.BlendAtLead(ec.comp[2*j], ec.comp[2*j+1], ec.lead)
-			cs.cond[j] = linkbudget.Conditions{RainMmH: w.RainMmH, CloudKgM2: w.CloudKgM2}
-		}
-		cs.known[j] = true
-	}
-	return cs.cond[j]
-}
-
-// eval applies the full feasibility test for one candidate pair and
-// appends the edge to dst when it survives: constraint bitmap, slant
-// range, elevation mask, and a positive forecast-weather rate.
-func (ec *evalCtx) eval(dst []VisibleEdge, i, j int, ecef frames.Vec3) []VisibleEdge {
-	gs := ec.s.Stations[j]
-	if !gs.Allows(i) {
-		return dst
-	}
-	st := &ec.stGeo[j]
-	d := ecef.Sub(st.topo.ECEF)
-	if d.Norm() > ec.maxRange {
-		return dst
-	}
-	look := st.topo.Look(ecef)
-	if look.ElevationRad <= gs.MinElevationRad {
-		return dst
-	}
-	geo := linkbudget.Geometry{
-		RangeKm:         look.RangeKm,
-		ElevationRad:    look.ElevationRad,
-		StationLatRad:   st.latRad,
-		StationHeightKm: st.altKm,
-	}
-	rate := ec.rateAt(j, gs.EffectiveTerminal(), geo, ec.condFor(j))
-	if rate <= 0 {
-		return dst
-	}
-	return append(dst, VisibleEdge{Sat: i, Station: j, Geometry: geo, RateBps: rate})
-}
-
-// Visibility computes the feasible edges at time t: satellite above the
-// station's elevation mask, downlink permitted by the constraint bitmap,
-// and a positive predicted rate under forecast weather at the given lead.
-//
-// A 10° geodetic cell index over the stations keeps the cost proportional
-// to stations actually near each ground track, not |S|·|G|.
-//
-// Visibility is safe for concurrent use (PlanEpoch invokes its internals
-// from a worker pool): satellite positions come from the shared
-// thread-safe position cache and the attenuation memo is lock-protected.
-// It always runs the exhaustive sweep; only PlanEpoch consults the
-// pass-window predictor.
-func (s *Scheduler) Visibility(sats []SatSnapshot, t time.Time, lead time.Duration) []VisibleEdge {
-	return s.visibility(sats, s.positionCache(sats), t, lead)
-}
-
-// visibility is Visibility with the position cache already resolved.
-func (s *Scheduler) visibility(sats []SatSnapshot, positions *poscache.Cache, t time.Time, lead time.Duration) []VisibleEdge {
-	var cs condScratch
-	cs.reset(len(s.Stations))
-	return s.visibilitySweep(nil, sats, positions, t, lead, &cs)
-}
-
-// visibilitySweep appends the feasible edges at t to dst, examining every
-// satellite against the stations near its ground track (the exhaustive
-// path: no pass-window filtering).
-func (s *Scheduler) visibilitySweep(dst []VisibleEdge, sats []SatSnapshot, positions *poscache.Cache, t time.Time, lead time.Duration, cs *condScratch) []VisibleEdge {
-	idx, stGeo := s.stationIndex()
-	memo, memoPath := s.rateMemo()
-	cs.reset(len(s.Stations))
-	ec := evalCtx{
-		s: s, stGeo: stGeo, memo: memo, memoPath: memoPath,
-		maxRange: s.maxRange(),
-		// Forecast weather per station: the lead-independent field
-		// samples come from the shared per-instant cache (hot across
-		// overlapping epochs); the per-lead blend is cheap arithmetic
-		// done locally.
-		comp: s.fcComponents(t), lead: lead, cs: cs,
-	}
-
-	cached := positions.At(t)
-	for i := range sats {
-		if !cached[i].OK {
-			continue
-		}
-		ecef := cached[i].Pos
-		r := ecef.Norm()
-		if r <= astro.EarthRadiusKm {
-			continue
-		}
-		// Horizon central angle from altitude, with margin for the geoid
-		// and cell quantization.
-		psiDeg := math.Acos(astro.EarthRadiusKm/r)*astro.Rad2Deg + 4
-		subLatDeg := math.Asin(ecef.Z/r) * astro.Rad2Deg
-		subLonDeg := math.Atan2(ecef.Y, ecef.X) * astro.Rad2Deg
-
-		latLo := int((astro.Clamp(subLatDeg-psiDeg, -89.999, 89.999) + 90) / 10)
-		latHi := int((astro.Clamp(subLatDeg+psiDeg, -89.999, 89.999) + 90) / 10)
-		for latCell := latLo; latCell <= latHi; latCell++ {
-			// Longitude half-width grows with the band's highest latitude.
-			bandMaxAbs := math.Max(math.Abs(float64(latCell*10-90)), math.Abs(float64(latCell*10-80)))
-			halfW := 180.0
-			if bandMaxAbs < 85 {
-				halfW = psiDeg / math.Cos(bandMaxAbs*astro.Deg2Rad)
-				if halfW > 180 {
-					halfW = 180
-				}
-			}
-			lonCells := int(halfW/10) + 1
-			if lonCells > 18 {
-				lonCells = 18
-			}
-			center := int((astro.NormalizePi(subLonDeg*astro.Deg2Rad)*astro.Rad2Deg + 180) / 10)
-			for dl := -lonCells; dl <= lonCells; dl++ {
-				lonCell := ((center+dl)%36 + 36) % 36
-				if dl == lonCells && lonCells == 18 && dl != -lonCells {
-					break // full wrap: avoid visiting the seam cell twice
-				}
-				for _, j := range idx[latCell][lonCell] {
-					dst = ec.eval(dst, i, int(j), ecef)
-				}
-			}
-		}
-	}
-	return dst
-}
-
-// visibilityPairs appends the feasible edges at t to dst, evaluating only
-// the packed (sat·nGs + station) candidate pairs whose predicted contact
-// windows cover t. pairs must be sorted ascending, which makes the edge
-// order satellite-major with stations ascending — every consumer of the
-// edge list is insensitive to the within-satellite station order, so the
-// resulting plans are bit-identical to the sweep's.
-func (s *Scheduler) visibilityPairs(dst []VisibleEdge, positions *poscache.Cache, t time.Time, lead time.Duration, pairs []int32, cs *condScratch) []VisibleEdge {
-	if len(pairs) == 0 {
-		return dst
-	}
-	_, stGeo := s.stationIndex()
-	memo, memoPath := s.rateMemo()
-	cs.reset(len(s.Stations))
-	ec := evalCtx{
-		s: s, stGeo: stGeo, memo: memo, memoPath: memoPath,
-		maxRange: s.maxRange(),
-		comp:     s.fcComponents(t), lead: lead, cs: cs,
-	}
-
-	cached := positions.At(t)
-	nGs := len(s.Stations)
-	lastSat := -1
-	var ecef frames.Vec3
-	ok := false
-	for _, key := range pairs {
-		i, j := int(key)/nGs, int(key)%nGs
-		if i != lastSat {
-			lastSat = i
-			e := cached[i]
-			ecef = e.Pos
-			ok = e.OK && ecef.Norm() > astro.EarthRadiusKm
-		}
-		if !ok {
-			continue
-		}
-		dst = ec.eval(dst, i, j, ecef)
-	}
-	return dst
-}
-
-// edgeBuf wraps a reusable visible-edge slice so sync.Pool round-trips
-// don't allocate an interface box per Put.
-type edgeBuf struct{ e []VisibleEdge }
-
-var edgeBufPool = sync.Pool{New: func() any { return new(edgeBuf) }}
-
-// coarseStepFor picks the predictor stride for a slot duration: the slot
-// grid itself. Identity with the exhaustive sweep only requires that every
-// slot instant be a scan sample (the bit-identity precondition: window
-// filtering can never hide an edge the sweep would see, because the sweep,
-// too, evaluates nothing between slot instants). Striding at exactly the
-// slot grid also means every predictor propagation lands on an instant the
-// simulator executes anyway, so the shared position cache serves them all;
-// a finer stride would add propagations only to discover passes that fit
-// entirely between slots, which no plan could ever use.
-func coarseStepFor(slotDur time.Duration) time.Duration {
-	return slotDur
-}
-
-// predictPairs returns, per slot, the sorted deduplicated packed
-// (sat·nGs + station) keys whose predicted contact windows cover the slot
-// instant. The predictor persists across epochs: overlapping horizons
-// re-use the windows already found, so each stride instant is scanned
-// once per simulation, not once per epoch.
-func (s *Scheduler) predictPairs(positions *poscache.Cache, start time.Time, n int, slotDur time.Duration) [][]int32 {
-	coarse := coarseStepFor(slotDur)
-	if s.pred == nil || s.predPos != positions || s.predStep != coarse {
-		// Tol = stride disables AOS/LOS bisection: the planner consumes
-		// windows only as conservative per-slot filters, so the one-stride
-		// bracket is all it needs, and skipping the refinement saves its
-		// off-grid propagations (every remaining scan instant then lands on
-		// the slot grid the simulator propagates anyway). Wider brackets
-		// admit at most one extra candidate slot per window edge, which the
-		// exact per-slot evaluation rejects — plans are unchanged.
-		s.pred = passes.New(positions, s.Stations, passes.Config{
-			CoarseStep: coarse,
-			Tol:        coarse,
-			MaxRangeKm: s.maxRange(),
-		})
-		s.predPos, s.predStep = positions, coarse
-	}
-	s.pred.Prune(start)
-	end := start.Add(time.Duration(n) * slotDur)
-	s.winBuf = s.pred.WindowsBetween(s.winBuf[:0], start, end)
-
-	if cap(s.slotPairs) >= n {
-		s.slotPairs = s.slotPairs[:n]
-	} else {
-		sp := make([][]int32, n)
-		copy(sp, s.slotPairs)
-		s.slotPairs = sp
-	}
-	pairs := s.slotPairs
-	for k := range pairs {
-		pairs[k] = pairs[k][:0]
-	}
-	nGs := len(s.Stations)
-	for _, w := range s.winBuf {
-		key := int32(w.Sat*nGs + w.Station)
-		k0 := 0
-		if w.Start.After(start) {
-			k0 = int((w.Start.Sub(start) + slotDur - 1) / slotDur)
-		}
-		k1 := n - 1
-		if w.End.Before(end) {
-			if v := int(w.End.Sub(start) / slotDur); v < k1 {
-				k1 = v
-			}
-		}
-		for k := k0; k <= k1; k++ {
-			pairs[k] = append(pairs[k], key)
-		}
-	}
-	for k := range pairs {
-		// Adjacent windows of one pair can share a bracket instant; sort
-		// and dedupe so the pair is evaluated once.
-		slices.Sort(pairs[k])
-		pairs[k] = slices.Compact(pairs[k])
-	}
-	return pairs
-}
-
-// BuildGraph turns visibility into the weighted bipartite graph of §3.1.
-func (s *Scheduler) BuildGraph(sats []SatSnapshot, edges []VisibleEdge, slotDur time.Duration) *match.Graph {
-	g := match.NewGraph(len(sats), len(s.Stations))
-	for j, gs := range s.Stations {
-		g.SetCapacity(j, gs.Capacity())
-	}
-	s.buildGraphInto(g, nil, sats, edges, slotDur)
-	return g
-}
-
-// buildGraphInto fills an already-shaped graph (capacities set) from the
-// slot's visible edges and appends the Φ weight of every edge — including
-// dropped non-positive ones — to weights, aligned with edges. The aligned
-// buffer replaces the per-slot weight map the reduction used to build:
-// the matched edge for a satellite is found by scanning edges, so its
-// weight is just weights[i].
-func (s *Scheduler) buildGraphInto(g *match.Graph, weights []float64, sats []SatSnapshot, edges []VisibleEdge, slotDur time.Duration) []float64 {
-	val := s.value()
-	sa, stationAware := val.(StationAware)
-	for _, e := range edges {
-		gs := s.Stations[e.Station]
-		v := val
-		if stationAware {
-			v = sa.WithStation(gs.ID)
-		}
-		ctx := EdgeContext{
-			RateBps:       e.RateBps,
-			SlotSeconds:   slotDur.Seconds(),
-			PendingBits:   sats[e.Sat].PendingBits,
-			OldestAge:     sats[e.Sat].OldestAge,
-			MaxPriority:   sats[e.Sat].MaxPriority,
-			StationLatRad: gs.Location.LatRad,
-			StationLonRad: gs.Location.LonRad,
-			StationTx:     gs.TxCapable,
-		}
-		w := v.Value(ctx)
-		weights = append(weights, w)
-		if w > 0 {
-			if err := g.AddEdge(e.Sat, e.Station, w); err != nil {
-				panic(fmt.Sprintf("core: internal edge error: %v", err))
-			}
-		}
-	}
-	return weights
-}
-
-// PlanEpoch produces a plan covering [start, start+horizon) at slotDur
-// granularity. The queue snapshots evolve optimistically inside the horizon:
-// scheduled transmissions drain PendingBits so later slots don't re-schedule
-// the same data, and capture feeds the queue at genBitsPerSec.
-//
-// The pass-window predictor first narrows each slot to the (satellite,
-// station) pairs whose contact windows cover it — typically a few percent
-// of the cross product — and persists its windows across the heavily
-// overlapping epochs. The remaining per-slot work (look angles and
-// forecast-rate evaluation) depends only on time, never on the evolving
-// queue state, so it fans out over the worker pool into pooled edge
-// buffers; the queue-dependent graph weighting, matching, and drain then
-// run as a sequential reduction over one reusable graph with warm-started
-// matching scratch. The produced plan is bit-identical to a fully serial
-// exhaustive sweep (UseSweep) for any worker count.
-func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slotDur time.Duration, genBitsPerSec float64) *Plan {
-	if slotDur <= 0 {
-		slotDur = time.Minute
-	}
-	n := int(horizon / slotDur)
-	if n < 1 {
-		n = 1
-	}
-	// Work on a copy: planning must not mutate the caller's snapshots.
-	work := make([]SatSnapshot, len(sats))
-	copy(work, sats)
-
-	// Resolve lazily initialized shared state once, then fan out. The
-	// clock only moves forward, so instants before this epoch can never
-	// be requested again: prune them from the shared position cache.
-	positions := s.positionCache(sats)
-	positions.Prune(start)
-	s.pruneForecast(start)
-	s.stationIndex()
-	memo, _ := s.rateMemo()
-
-	var pairsBySlot [][]int32
-	if !s.UseSweep {
-		pairsBySlot = s.predictPairs(positions, start, n, slotDur)
-	}
-
-	workers := s.workers()
-	if workers > n {
-		workers = n
-	}
-	for len(s.condScr) < workers {
-		s.condScr = append(s.condScr, condScratch{})
-	}
-	for w := 0; w < workers; w++ {
-		if s.condScr[w].view == nil {
-			s.condScr[w].view = memo.View()
-		}
-	}
-	bufBySlot := make([]*edgeBuf, n)
-	pool.ForEachWorker(workers, n, func(w, k int) {
-		t := start.Add(time.Duration(k) * slotDur)
-		cs := &s.condScr[w]
-		eb := edgeBufPool.Get().(*edgeBuf)
-		if pairsBySlot != nil {
-			eb.e = s.visibilityPairs(eb.e[:0], positions, t, t.Sub(start), pairsBySlot[k], cs)
-		} else {
-			eb.e = s.visibilitySweep(eb.e[:0], sats, positions, t, t.Sub(start), cs)
-		}
-		bufBySlot[k] = eb
-	})
-
-	s.nextVersion++
-	plan := &Plan{
-		Version: s.nextVersion,
-		Issued:  start,
-		SlotDur: slotDur,
-		Slots:   make([]Slot, 0, n),
-	}
-	if s.planG == nil {
-		s.planG = match.NewGraph(0, 0)
-	}
-	s.matchScr.Warm = true
-	for k := 0; k < n; k++ {
-		t := start.Add(time.Duration(k) * slotDur)
-		eb := bufBySlot[k]
-		edges := eb.e
-		g := s.planG
-		g.Reset(len(work), len(s.Stations))
-		for j, gs := range s.Stations {
-			g.SetCapacity(j, gs.Capacity())
-		}
-		s.wbuf = s.buildGraphInto(g, s.wbuf[:0], work, edges, slotDur)
-		var m match.Matching
-		if s.Match != nil {
-			m = s.Match(g)
-		} else {
-			m = s.matchScr.Stable(g)
-		}
-
-		slot := Slot{Start: t}
-		// The edge list is satellite-major on both visibility paths and a
-		// satellite holds at most one matched edge, so this scan emits
-		// assignments in ascending satellite order — the same order the
-		// LeftToRight iteration used to produce.
-		for ei, e := range edges {
-			if m.LeftToRight[e.Sat] != e.Station {
-				continue
-			}
-			r := e.RateBps
-			slot.Assignments = append(slot.Assignments, Assignment{
-				Sat:            e.Sat,
-				Station:        e.Station,
-				PlannedRateBps: r,
-				Weight:         s.wbuf[ei],
-			})
-			// Drain the modeled queue.
-			sent := r * slotDur.Seconds()
-			if sent > work[e.Sat].PendingBits {
-				sent = work[e.Sat].PendingBits
-			}
-			work[e.Sat].PendingBits -= sent
-			if work[e.Sat].PendingBits <= 0 {
-				work[e.Sat].OldestAge = 0
-			}
-		}
-		// Capture refills every queue.
-		for i := range work {
-			work[i].PendingBits += genBitsPerSec * slotDur.Seconds()
-			if work[i].PendingBits > 0 {
-				work[i].OldestAge += slotDur
-			}
-		}
-		plan.Slots = append(plan.Slots, slot)
-		edgeBufPool.Put(eb)
-	}
-	plan.BuildIndex()
-	return plan
 }

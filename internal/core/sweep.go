@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/frames"
+	"dgs/internal/linkbudget"
+	"dgs/internal/poscache"
+	"dgs/internal/weather"
+)
+
+// VisibleEdge is a feasible link with its geometry and predicted rate.
+type VisibleEdge struct {
+	Sat, Station int
+	Geometry     linkbudget.Geometry
+	RateBps      float64
+}
+
+// condScratch is the per-worker evaluation scratch: the per-station
+// blended weather conditions for one (instant, lead) evaluation, plus the
+// worker's private front cache over the shared attenuation memo. The
+// condition buffers are reset per slot; the memo view persists across
+// every slot (and epoch) the worker processes.
+type condScratch struct {
+	cond  []linkbudget.Conditions
+	known []bool
+	view  *linkbudget.MemoView
+}
+
+func (cs *condScratch) reset(n int) {
+	if cap(cs.cond) >= n {
+		cs.cond = cs.cond[:n]
+		cs.known = cs.known[:n]
+	} else {
+		cs.cond = make([]linkbudget.Conditions, n)
+		cs.known = make([]bool, n)
+	}
+	for j := range cs.known {
+		cs.known[j] = false
+	}
+}
+
+// evalCtx bundles the per-call state the edge evaluation needs, so the
+// sweep and the pass-window path run the exact same test (any divergence
+// would break their bit-identity contract).
+type evalCtx struct {
+	s        *Scheduler
+	stGeo    []stationGeom
+	memo     *linkbudget.AttenMemo
+	memoPath []int
+	maxRange float64
+	comp     []weather.Sample
+	lead     time.Duration
+	cs       *condScratch
+}
+
+// rateAt serves the forecast rate through the worker's private memo view
+// when it has one (PlanEpoch workers), else through the shared locked
+// memo (one-shot Visibility calls). Both return the identical value: a
+// view only fronts memo entries, which are pure functions of the
+// quantized inputs.
+func (ec *evalCtx) rateAt(j int, t linkbudget.Terminal, geo linkbudget.Geometry, w linkbudget.Conditions) float64 {
+	if v := ec.cs.view; v != nil {
+		return v.RateBpsAt(ec.memoPath[j], t, geo, w)
+	}
+	return ec.memo.RateBpsAt(ec.memoPath[j], t, geo, w)
+}
+
+func (ec *evalCtx) condFor(j int) linkbudget.Conditions {
+	cs := ec.cs
+	if !cs.known[j] {
+		if ec.comp != nil {
+			w := ec.s.Forecast.BlendAtLead(ec.comp[2*j], ec.comp[2*j+1], ec.lead)
+			cs.cond[j] = linkbudget.Conditions{RainMmH: w.RainMmH, CloudKgM2: w.CloudKgM2}
+		}
+		cs.known[j] = true
+	}
+	return cs.cond[j]
+}
+
+// eval applies the full feasibility test for one candidate pair and
+// appends the edge to dst when it survives: constraint bitmap, slant
+// range, elevation mask, and a positive forecast-weather rate.
+func (ec *evalCtx) eval(dst []VisibleEdge, i, j int, ecef frames.Vec3) []VisibleEdge {
+	gs := ec.s.Stations[j]
+	if !gs.Allows(i) {
+		return dst
+	}
+	st := &ec.stGeo[j]
+	d := ecef.Sub(st.topo.ECEF)
+	if d.Norm() > ec.maxRange {
+		return dst
+	}
+	look := st.topo.Look(ecef)
+	if look.ElevationRad <= gs.MinElevationRad {
+		return dst
+	}
+	geo := linkbudget.Geometry{
+		RangeKm:         look.RangeKm,
+		ElevationRad:    look.ElevationRad,
+		StationLatRad:   st.latRad,
+		StationHeightKm: st.altKm,
+	}
+	rate := ec.rateAt(j, gs.EffectiveTerminal(), geo, ec.condFor(j))
+	if rate <= 0 {
+		return dst
+	}
+	return append(dst, VisibleEdge{Sat: i, Station: j, Geometry: geo, RateBps: rate})
+}
+
+// Visibility computes the feasible edges at time t: satellite above the
+// station's elevation mask, downlink permitted by the constraint bitmap,
+// and a positive predicted rate under forecast weather at the given lead.
+//
+// A 10° geodetic cell index over the stations keeps the cost proportional
+// to stations actually near each ground track, not |S|·|G|.
+//
+// Visibility is safe for concurrent use (PlanEpoch invokes its internals
+// from a worker pool): satellite positions come from the shared
+// thread-safe position cache and the attenuation memo is lock-protected.
+// It always runs the exhaustive sweep; only PlanEpoch consults the
+// pass-window predictor.
+func (s *Scheduler) Visibility(sats []SatSnapshot, t time.Time, lead time.Duration) []VisibleEdge {
+	return s.visibility(sats, s.positionCache(sats), t, lead)
+}
+
+// visibility is Visibility with the position cache already resolved.
+func (s *Scheduler) visibility(sats []SatSnapshot, positions *poscache.Cache, t time.Time, lead time.Duration) []VisibleEdge {
+	var cs condScratch
+	cs.reset(len(s.Stations))
+	return s.visibilitySweep(nil, sats, positions, t, lead, &cs)
+}
+
+// visibilitySweep appends the feasible edges at t to dst, examining every
+// satellite against the stations near its ground track (the exhaustive
+// path: no pass-window filtering).
+func (s *Scheduler) visibilitySweep(dst []VisibleEdge, sats []SatSnapshot, positions *poscache.Cache, t time.Time, lead time.Duration, cs *condScratch) []VisibleEdge {
+	idx, stGeo := s.stationIndex()
+	memo, memoPath := s.rateMemo()
+	cs.reset(len(s.Stations))
+	ec := evalCtx{
+		s: s, stGeo: stGeo, memo: memo, memoPath: memoPath,
+		maxRange: s.maxRange(),
+		// Forecast weather per station: the lead-independent field
+		// samples come from the shared per-instant cache (hot across
+		// overlapping epochs); the per-lead blend is cheap arithmetic
+		// done locally.
+		comp: s.fcComponents(t), lead: lead, cs: cs,
+	}
+
+	cached := positions.At(t)
+	for i := range sats {
+		if !cached[i].OK {
+			continue
+		}
+		ecef := cached[i].Pos
+		r := ecef.Norm()
+		if r <= astro.EarthRadiusKm {
+			continue
+		}
+		// Horizon central angle from altitude, with margin for the geoid
+		// and cell quantization.
+		psiDeg := math.Acos(astro.EarthRadiusKm/r)*astro.Rad2Deg + 4
+		subLatDeg := math.Asin(ecef.Z/r) * astro.Rad2Deg
+		subLonDeg := math.Atan2(ecef.Y, ecef.X) * astro.Rad2Deg
+
+		latLo := int((astro.Clamp(subLatDeg-psiDeg, -89.999, 89.999) + 90) / 10)
+		latHi := int((astro.Clamp(subLatDeg+psiDeg, -89.999, 89.999) + 90) / 10)
+		for latCell := latLo; latCell <= latHi; latCell++ {
+			// Longitude half-width grows with the band's highest latitude.
+			bandMaxAbs := math.Max(math.Abs(float64(latCell*10-90)), math.Abs(float64(latCell*10-80)))
+			halfW := 180.0
+			if bandMaxAbs < 85 {
+				halfW = psiDeg / math.Cos(bandMaxAbs*astro.Deg2Rad)
+				if halfW > 180 {
+					halfW = 180
+				}
+			}
+			lonCells := int(halfW/10) + 1
+			if lonCells > 18 {
+				lonCells = 18
+			}
+			center := int((astro.NormalizePi(subLonDeg*astro.Deg2Rad)*astro.Rad2Deg + 180) / 10)
+			for dl := -lonCells; dl <= lonCells; dl++ {
+				lonCell := ((center+dl)%36 + 36) % 36
+				if dl == lonCells && lonCells == 18 && dl != -lonCells {
+					break // full wrap: avoid visiting the seam cell twice
+				}
+				for _, j := range idx[latCell][lonCell] {
+					dst = ec.eval(dst, i, int(j), ecef)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// visibilityPairs appends the feasible edges at t to dst, evaluating only
+// the packed (sat·nGs + station) candidate pairs whose predicted contact
+// windows cover t. pairs must be sorted ascending, which makes the edge
+// order satellite-major with stations ascending — every consumer of the
+// edge list is insensitive to the within-satellite station order, so the
+// resulting plans are bit-identical to the sweep's.
+func (s *Scheduler) visibilityPairs(dst []VisibleEdge, positions *poscache.Cache, t time.Time, lead time.Duration, pairs []int32, cs *condScratch) []VisibleEdge {
+	if len(pairs) == 0 {
+		return dst
+	}
+	_, stGeo := s.stationIndex()
+	memo, memoPath := s.rateMemo()
+	cs.reset(len(s.Stations))
+	ec := evalCtx{
+		s: s, stGeo: stGeo, memo: memo, memoPath: memoPath,
+		maxRange: s.maxRange(),
+		comp:     s.fcComponents(t), lead: lead, cs: cs,
+	}
+
+	cached := positions.At(t)
+	nGs := len(s.Stations)
+	lastSat := -1
+	var ecef frames.Vec3
+	ok := false
+	for _, key := range pairs {
+		i, j := int(key)/nGs, int(key)%nGs
+		if i != lastSat {
+			lastSat = i
+			e := cached[i]
+			ecef = e.Pos
+			ok = e.OK && ecef.Norm() > astro.EarthRadiusKm
+		}
+		if !ok {
+			continue
+		}
+		dst = ec.eval(dst, i, j, ecef)
+	}
+	return dst
+}

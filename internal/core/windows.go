@@ -1,0 +1,85 @@
+package core
+
+import (
+	"slices"
+	"time"
+
+	"dgs/internal/passes"
+	"dgs/internal/poscache"
+)
+
+// coarseStepFor picks the predictor stride for a slot duration: the slot
+// grid itself. Identity with the exhaustive sweep only requires that every
+// slot instant be a scan sample (the bit-identity precondition: window
+// filtering can never hide an edge the sweep would see, because the sweep,
+// too, evaluates nothing between slot instants). Striding at exactly the
+// slot grid also means every predictor propagation lands on an instant the
+// simulator executes anyway, so the shared position cache serves them all;
+// a finer stride would add propagations only to discover passes that fit
+// entirely between slots, which no plan could ever use.
+func coarseStepFor(slotDur time.Duration) time.Duration {
+	return slotDur
+}
+
+// predictPairs returns, per slot, the sorted deduplicated packed
+// (sat·nGs + station) keys whose predicted contact windows cover the slot
+// instant. The predictor persists across epochs: overlapping horizons
+// re-use the windows already found, so each stride instant is scanned
+// once per simulation, not once per epoch.
+func (s *Scheduler) predictPairs(positions *poscache.Cache, start time.Time, n int, slotDur time.Duration) [][]int32 {
+	coarse := coarseStepFor(slotDur)
+	if s.pred == nil || s.predPos != positions || s.predStep != coarse {
+		// Tol = stride disables AOS/LOS bisection: the planner consumes
+		// windows only as conservative per-slot filters, so the one-stride
+		// bracket is all it needs, and skipping the refinement saves its
+		// off-grid propagations (every remaining scan instant then lands on
+		// the slot grid the simulator propagates anyway). Wider brackets
+		// admit at most one extra candidate slot per window edge, which the
+		// exact per-slot evaluation rejects — plans are unchanged.
+		s.pred = passes.New(positions, s.Stations, passes.Config{
+			CoarseStep: coarse,
+			Tol:        coarse,
+			MaxRangeKm: s.maxRange(),
+		})
+		s.predPos, s.predStep = positions, coarse
+	}
+	s.pred.Prune(start)
+	end := start.Add(time.Duration(n) * slotDur)
+	s.winBuf = s.pred.WindowsBetween(s.winBuf[:0], start, end)
+
+	if cap(s.slotPairs) >= n {
+		s.slotPairs = s.slotPairs[:n]
+	} else {
+		sp := make([][]int32, n)
+		copy(sp, s.slotPairs)
+		s.slotPairs = sp
+	}
+	pairs := s.slotPairs
+	for k := range pairs {
+		pairs[k] = pairs[k][:0]
+	}
+	nGs := len(s.Stations)
+	for _, w := range s.winBuf {
+		key := int32(w.Sat*nGs + w.Station)
+		k0 := 0
+		if w.Start.After(start) {
+			k0 = int((w.Start.Sub(start) + slotDur - 1) / slotDur)
+		}
+		k1 := n - 1
+		if w.End.Before(end) {
+			if v := int(w.End.Sub(start) / slotDur); v < k1 {
+				k1 = v
+			}
+		}
+		for k := k0; k <= k1; k++ {
+			pairs[k] = append(pairs[k], key)
+		}
+	}
+	for k := range pairs {
+		// Adjacent windows of one pair can share a bracket instant; sort
+		// and dedupe so the pair is evaluated once.
+		slices.Sort(pairs[k])
+		pairs[k] = slices.Compact(pairs[k])
+	}
+	return pairs
+}

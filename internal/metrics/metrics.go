@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -110,6 +111,33 @@ func (d *Dist) Samples() []float64 {
 	out := make([]float64, len(d.samples))
 	copy(out, d.samples)
 	return out
+}
+
+// distJSON is the wire form of Dist. Samples are kept in their current
+// order (insertion order, or sorted if a percentile has been queried) so a
+// round trip reproduces the exact internal state.
+type distJSON struct {
+	Samples []float64 `json:"samples"`
+	Sorted  bool      `json:"sorted"`
+}
+
+// MarshalJSON implements json.Marshaler. Go's shortest-representation
+// float64 formatting round-trips bit-exactly, so Marshal followed by
+// Unmarshal reproduces the distribution sample-for-sample — the simulator's
+// checkpoint format depends on this.
+func (d Dist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(distJSON{Samples: d.samples, Sorted: d.sorted})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Dist) UnmarshalJSON(b []byte) error {
+	var w distJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	d.samples = w.Samples
+	d.sorted = w.Sorted
+	return nil
 }
 
 // CDFPoint is one point of an empirical CDF.

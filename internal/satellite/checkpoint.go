@@ -1,0 +1,96 @@
+package satellite
+
+import (
+	"fmt"
+	"slices"
+	"time"
+)
+
+// StoreState is the serializable snapshot of a Store. Pending preserves the
+// heap's internal array order exactly — the heap invariant alone does not
+// determine pop order for equal keys' siblings, so restoring the same array
+// is what guarantees the restored store transmits chunks in the same order
+// as the original. InFlight is sorted by ID for a canonical encoding.
+type StoreState struct {
+	SatName           string    `json:"sat_name"`
+	NextID            ChunkID   `json:"next_id"`
+	Pending           []Chunk   `json:"pending,omitempty"`
+	InFlight          []Chunk   `json:"in_flight,omitempty"`
+	Generated         float64   `json:"generated"`
+	Delivered         float64   `json:"delivered"`
+	Peak              float64   `json:"peak"`
+	GenRateBitsPerSec float64   `json:"gen_rate_bits_per_sec"`
+	ChunkBits         float64   `json:"chunk_bits"`
+	LastGen           time.Time `json:"last_gen"`
+	GenStarted        bool      `json:"gen_started"`
+	GenCarry          float64   `json:"gen_carry"`
+}
+
+// Checkpoint captures the store's complete state. The returned value shares
+// nothing with the store and can be serialized (its float64 fields survive
+// JSON round trips bit-exactly).
+func (s *Store) Checkpoint() StoreState {
+	st := StoreState{
+		SatName:           s.satName,
+		NextID:            s.nextID,
+		Generated:         s.generated,
+		Delivered:         s.delivered,
+		Peak:              s.peak,
+		GenRateBitsPerSec: s.GenRateBitsPerSec,
+		ChunkBits:         s.ChunkBits,
+		LastGen:           s.lastGen,
+		GenStarted:        s.genStarted,
+		GenCarry:          s.genCarry,
+	}
+	if len(s.pending) > 0 {
+		st.Pending = make([]Chunk, len(s.pending))
+		for i, c := range s.pending {
+			st.Pending[i] = *c
+		}
+	}
+	if len(s.inFlight) > 0 {
+		st.InFlight = make([]Chunk, 0, len(s.inFlight))
+		for _, c := range s.inFlight {
+			st.InFlight = append(st.InFlight, *c)
+		}
+		slices.SortFunc(st.InFlight, func(a, b Chunk) int {
+			switch {
+			case a.ID < b.ID:
+				return -1
+			case a.ID > b.ID:
+				return 1
+			}
+			return 0
+		})
+	}
+	return st
+}
+
+// RestoreStore rebuilds a Store from a checkpoint. The pending slice is
+// adopted verbatim as the heap array; derived totals (pendingB, inFlightB)
+// are recomputed from the chunks.
+func RestoreStore(st StoreState) (*Store, error) {
+	s := NewStore(st.SatName, st.GenRateBitsPerSec, st.ChunkBits)
+	s.nextID = st.NextID
+	s.generated = st.Generated
+	s.delivered = st.Delivered
+	s.peak = st.Peak
+	s.lastGen = st.LastGen
+	s.genStarted = st.GenStarted
+	s.genCarry = st.GenCarry
+	s.pending = make(chunkHeap, len(st.Pending))
+	for i := range st.Pending {
+		c := st.Pending[i]
+		s.pending[i] = &c
+		s.pendingB += c.Bits
+	}
+	for i := range st.InFlight {
+		c := st.InFlight[i]
+		s.inFlight[c.ID] = &c
+		s.inFlightB += c.Bits
+	}
+	if err := s.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("restore: %w", err)
+	}
+	return s, nil
+}

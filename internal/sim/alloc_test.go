@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// warmEngine builds an engine and advances it a few slots so every lazily
+// sized buffer (snapshot scratch, position cache, claim maps) is warm.
+func warmEngine(t *testing.T) *Engine {
+	t.Helper()
+	cfg := smallCfg(8, 12)
+	cfg.Duration = time.Hour
+	cfg.Workers = 1
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUntil(t, e, 5)
+	return e
+}
+
+// TestTxVisibleAllocFree locks in zero allocations for the per-slot TX
+// visibility test: it runs for every satellite at every hybrid slot, and
+// before it became a World method it closed over loop state and allocated.
+func TestTxVisibleAllocFree(t *testing.T) {
+	e := warmEngine(t)
+	w := e.World()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range w.sats {
+			w.txVisible(i)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("txVisible allocates %.1f times per sweep, want 0", allocs)
+	}
+}
+
+// TestSnapshotAllocFree locks in zero steady-state allocations for the
+// scheduler snapshot assembly: the World reuses one buffer across epochs.
+func TestSnapshotAllocFree(t *testing.T) {
+	e := warmEngine(t)
+	w := e.World()
+	w.snapshot(w.Now()) // size the buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		w.snapshot(w.Now())
+	})
+	if allocs > 0 {
+		t.Fatalf("snapshot allocates %.1f times per call, want 0", allocs)
+	}
+}

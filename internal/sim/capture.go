@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"dgs/internal/astro"
+	"dgs/internal/frames"
+)
+
+// captureStage generates new imagery and injects high-priority event
+// captures for the current slot.
+type captureStage struct{}
+
+func (captureStage) name() string { return "capture" }
+
+func (captureStage) run(e *Engine) error {
+	w := e.w
+	cfg := &w.cfg
+
+	// Capture new imagery. With DaylightImaging the imager only runs while
+	// the satellite is over the sunlit hemisphere: the position vector has
+	// a positive component toward the Sun. The sun vector is in TEME;
+	// compare against the TEME position (rotate back).
+	var sunX, sunY, sunZ float64
+	if cfg.DaylightImaging {
+		sunX, sunY, sunZ = astro.SunDirection(w.jd)
+	}
+	for i, s := range w.sats {
+		if cfg.DaylightImaging {
+			if !w.ecefs[i].OK {
+				s.store.Skip(w.now)
+				continue
+			}
+			teme := frames.ECEFToTEME(w.ecefs[i].Pos, w.jd)
+			if teme.X*sunX+teme.Y*sunY+teme.Z*sunZ <= 0 {
+				s.store.Skip(w.now)
+				continue
+			}
+		}
+		s.store.Generate(w.now)
+	}
+
+	// High-priority event injection, at the period computed once per run.
+	if w.eventPeriod > 0 {
+		for _, s := range w.sats {
+			for !s.nextEvent.IsZero() && !w.now.Before(s.nextEvent) {
+				id := s.store.AddChunk(s.nextEvent, cfg.EventBits, 10)
+				s.eventIDs[id] = true
+				s.nextEvent = s.nextEvent.Add(w.eventPeriod)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+	"time"
+
+	"dgs/internal/core"
+	"dgs/internal/satellite"
+)
+
+// checkpointFormat is bumped whenever the Checkpoint layout changes
+// incompatibly.
+const checkpointFormat = 1
+
+// TxRecord is one in-flight chunk's transmission time.
+type TxRecord struct {
+	ID satellite.ChunkID `json:"id"`
+	At time.Time         `json:"at"`
+}
+
+// RxRecord is the backend's record of one chunk received on the ground.
+type RxRecord struct {
+	ID         satellite.ChunkID `json:"id"`
+	ReceivedAt time.Time         `json:"received_at"`
+	Bits       float64           `json:"bits"`
+	Captured   time.Time         `json:"captured"`
+}
+
+// SatCheckpoint is one satellite's slice of a Checkpoint: the on-board
+// store, the hybrid control-plane state, and the backend's per-satellite
+// bookkeeping. Slices are sorted by chunk ID for a canonical encoding.
+type SatCheckpoint struct {
+	Store satellite.StoreState `json:"store"`
+	// HeldPlan is the version of the plan on board (0 = none); the plan
+	// itself lives in Checkpoint.Plans.
+	HeldPlan  int                 `json:"held_plan"`
+	TxTime    []TxRecord          `json:"tx_time,omitempty"`
+	EventIDs  []satellite.ChunkID `json:"event_ids,omitempty"`
+	NextEvent time.Time           `json:"next_event"`
+	UpVersion int                 `json:"up_version"`
+	UpBits    float64             `json:"up_bits"`
+	// Backend state for this satellite.
+	Received     []RxRecord          `json:"received,omitempty"`
+	Acked        []satellite.ChunkID `json:"acked,omitempty"`
+	ReceivedBits float64             `json:"received_bits"`
+}
+
+// Checkpoint is a serializable snapshot of a run between two slots. It
+// captures exactly the state newWorld cannot reconstruct from the Config:
+// the clock, the plan-epoch state, the plans in circulation (deduplicated
+// by version), every satellite's runtime, and the accumulated Result.
+// Everything else — weather (a pure function of the seed), propagators
+// (rebuilt from TLEs), and the position/forecast/attenuation caches (pure
+// memoization) — is rebuilt by Restore. JSON round trips are lossless:
+// Go prints float64 in shortest form, which parses back bit-identically.
+type Checkpoint struct {
+	Format int `json:"format"`
+	// Start mirrors Config.Start so Restore can reject a mismatched
+	// configuration.
+	Start time.Time `json:"start"`
+	// Now is the next slot to execute; Step is its index from run start.
+	Now         time.Time `json:"now"`
+	Step        int       `json:"step"`
+	Day         int       `json:"day"`
+	NextDayMark time.Time `json:"next_day_mark"`
+	NextPlan    time.Time `json:"next_plan"`
+	// SchedVersion is the scheduler's plan-version counter; LatestPlan is
+	// the version of the backend's current plan (0 = none).
+	SchedVersion int `json:"sched_version"`
+	LatestPlan   int `json:"latest_plan"`
+	// Plans holds every distinct plan still in circulation (the backend's
+	// latest plus any older versions satellites still hold), ascending by
+	// version.
+	Plans []*core.Plan    `json:"plans,omitempty"`
+	Sats  []SatCheckpoint `json:"sats"`
+	Res   *Result         `json:"result"`
+}
+
+// Checkpoint captures the engine's complete state. Call it only between
+// steps (never from an Observer or a stage: mid-slot state is not
+// checkpointable). The snapshot shares no mutable state with the engine,
+// so the run can continue — or be abandoned — without disturbing it.
+func (e *Engine) Checkpoint() (*Checkpoint, error) {
+	w := e.w
+	cp := &Checkpoint{
+		Format:       checkpointFormat,
+		Start:        w.cfg.Start,
+		Now:          w.now,
+		Step:         w.step,
+		Day:          w.day,
+		NextDayMark:  w.nextDayMark,
+		NextPlan:     w.nextPlan,
+		SchedVersion: w.sched.PlanVersion(),
+	}
+	if w.latestPlan != nil {
+		cp.LatestPlan = w.latestPlan.Version
+	}
+
+	// Deduplicate the plans in circulation by version.
+	planSet := map[int]*core.Plan{}
+	if w.latestPlan != nil {
+		planSet[w.latestPlan.Version] = w.latestPlan
+	}
+	for _, s := range w.sats {
+		if s.heldPlan != nil {
+			planSet[s.heldPlan.Version] = s.heldPlan
+		}
+	}
+	for _, p := range planSet {
+		cp.Plans = append(cp.Plans, p)
+	}
+	slices.SortFunc(cp.Plans, func(a, b *core.Plan) int { return a.Version - b.Version })
+
+	cp.Sats = make([]SatCheckpoint, len(w.sats))
+	for i, s := range w.sats {
+		sc := SatCheckpoint{
+			Store:        s.store.Checkpoint(),
+			NextEvent:    s.nextEvent,
+			UpVersion:    s.upVersion,
+			UpBits:       s.upBits,
+			ReceivedBits: w.receivedBits[i],
+		}
+		if s.heldPlan != nil {
+			sc.HeldPlan = s.heldPlan.Version
+		}
+		for id, at := range s.txTime {
+			sc.TxTime = append(sc.TxTime, TxRecord{ID: id, At: at})
+		}
+		slices.SortFunc(sc.TxTime, func(a, b TxRecord) int { return int(a.ID) - int(b.ID) })
+		for id := range s.eventIDs {
+			sc.EventIDs = append(sc.EventIDs, id)
+		}
+		slices.Sort(sc.EventIDs)
+		for id, rx := range w.received[i] {
+			sc.Received = append(sc.Received, RxRecord{
+				ID: id, ReceivedAt: rx.receivedAt, Bits: rx.bits, Captured: rx.captured,
+			})
+		}
+		slices.SortFunc(sc.Received, func(a, b RxRecord) int { return int(a.ID) - int(b.ID) })
+		for id := range w.acked[i] {
+			sc.Acked = append(sc.Acked, id)
+		}
+		slices.Sort(sc.Acked)
+		cp.Sats[i] = sc
+	}
+
+	// Deep-copy the Result through its JSON form: the engine keeps
+	// appending to the live distributions (and percentile queries sort
+	// them in place), and the checkpoint must not see any of it.
+	raw, err := json.Marshal(w.res)
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	cp.Res = &Result{}
+	if err := json.Unmarshal(raw, cp.Res); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// Restore rebuilds an engine from a checkpoint taken under the same
+// Config. The restored engine finishes the run bit-identically to one
+// that never stopped (the golden differential suite enforces it). cfg
+// must match the checkpointed run's Config; Restore rejects the
+// mismatches it can detect (start time, population size) but cannot
+// detect them all — an altered seed or forecast error silently forks the
+// run instead.
+func Restore(cfg Config, cp *Checkpoint) (*Engine, error) {
+	if cp.Format != checkpointFormat {
+		return nil, fmt.Errorf("sim: checkpoint format %d, want %d", cp.Format, checkpointFormat)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := e.w
+	if !cp.Start.Equal(w.cfg.Start) {
+		return nil, fmt.Errorf("sim: checkpoint start %v does not match config start %v", cp.Start, w.cfg.Start)
+	}
+	if len(cp.Sats) != len(w.sats) {
+		return nil, fmt.Errorf("sim: checkpoint has %d satellites, config has %d", len(cp.Sats), len(w.sats))
+	}
+	if cp.Now.Before(w.cfg.Start) || cp.Now.After(w.end) {
+		return nil, fmt.Errorf("sim: checkpoint time %v outside run span", cp.Now)
+	}
+
+	plans := make(map[int]*core.Plan, len(cp.Plans))
+	for _, p := range cp.Plans {
+		// A plan that crossed a JSON round trip lost its unexported lookup
+		// index; rebuilding is idempotent for one that didn't.
+		p.BuildIndex()
+		plans[p.Version] = p
+	}
+	planFor := func(version int, what string) (*core.Plan, error) {
+		if version == 0 {
+			return nil, nil
+		}
+		p, ok := plans[version]
+		if !ok {
+			return nil, fmt.Errorf("sim: checkpoint references %s version %d but does not carry it", what, version)
+		}
+		return p, nil
+	}
+
+	w.now = cp.Now
+	w.step = cp.Step
+	w.day = cp.Day
+	w.nextDayMark = cp.NextDayMark
+	w.nextPlan = cp.NextPlan
+	w.sched.SetPlanVersion(cp.SchedVersion)
+	if w.latestPlan, err = planFor(cp.LatestPlan, "latest plan"); err != nil {
+		return nil, err
+	}
+
+	for i, sc := range cp.Sats {
+		s := w.sats[i]
+		if s.store, err = satellite.RestoreStore(sc.Store); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint satellite %d: %w", i, err)
+		}
+		if s.heldPlan, err = planFor(sc.HeldPlan, "held plan"); err != nil {
+			return nil, err
+		}
+		clear(s.txTime)
+		for _, r := range sc.TxTime {
+			s.txTime[r.ID] = r.At
+		}
+		clear(s.eventIDs)
+		for _, id := range sc.EventIDs {
+			s.eventIDs[id] = true
+		}
+		s.nextEvent = sc.NextEvent
+		s.upVersion = sc.UpVersion
+		s.upBits = sc.UpBits
+
+		clear(w.received[i])
+		for _, r := range sc.Received {
+			w.received[i][r.ID] = chunkRx{receivedAt: r.ReceivedAt, bits: r.Bits, captured: r.Captured}
+		}
+		clear(w.acked[i])
+		for _, id := range sc.Acked {
+			w.acked[i][id] = true
+		}
+		w.receivedBits[i] = sc.ReceivedBits
+	}
+
+	if cp.Res == nil {
+		return nil, fmt.Errorf("sim: checkpoint carries no result")
+	}
+	// Same deep copy as Checkpoint: the engine will keep appending to the
+	// restored Result, and the caller's Checkpoint must stay untouched.
+	raw, err := json.Marshal(cp.Res)
+	if err != nil {
+		return nil, fmt.Errorf("sim: restore: %w", err)
+	}
+	w.res = &Result{}
+	if err := json.Unmarshal(raw, w.res); err != nil {
+		return nil, fmt.Errorf("sim: restore: %w", err)
+	}
+	return e, nil
+}

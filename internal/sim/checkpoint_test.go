@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// stepUntil advances the engine to the given slot count.
+func stepUntil(t *testing.T, e *Engine, steps int) {
+	t.Helper()
+	for i := 0; i < steps && !e.Done(); i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointResume is the checkpoint half of the golden differential
+// suite: stop each pinned scenario mid-run, serialize the checkpoint
+// through JSON, restore, and finish — the resumed run must land on the
+// pinned pre-refactor Result bit-for-bit. The interrupted engine keeps
+// running too, proving Checkpoint leaves the live run untouched.
+func TestCheckpointResume(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			want := loadGolden(t, sc.name)
+			cfg := sc.cfg()
+			cfg.Workers = 1
+
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := int(cfg.Duration / cfg.withDefaults().Step / 2)
+			stepUntil(t, e, half)
+
+			cp, err := e.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := json.Marshal(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The original engine finishes undisturbed by the checkpoint.
+			for !e.Done() {
+				if err := e.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := e.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, "uninterrupted", want, res)
+
+			// The resumed engine, built from the serialized bytes, lands on
+			// the same pinned result.
+			var back Checkpoint
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Restore(sc.cfg(), &back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !re.World().Now().Equal(e.World().cfg.Start.Add(time.Duration(half) * e.World().cfg.Step)) {
+				t.Fatalf("restored clock %v, want %v", re.World().Now(),
+					e.World().cfg.Start.Add(time.Duration(half)*e.World().cfg.Step))
+			}
+			for !re.Done() {
+				if err := re.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rres, err := re.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, "resumed", want, rres)
+		})
+	}
+}
+
+// TestCheckpointCanonical asserts the checkpoint encoding is canonical:
+// serializing, restoring, and re-checkpointing without stepping yields the
+// same bytes. Map-ordering leaks or unsorted slices would break this.
+func TestCheckpointCanonical(t *testing.T) {
+	cfg := smallCfg(4, 8)
+	cfg.Duration = 90 * time.Minute
+	cfg.EventsPerSatPerDay = 4
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUntil(t, e, 45)
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw1, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Restore(cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := re.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := json.Marshal(cp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("checkpoint not canonical:\n%s\n---\n%s", raw1, raw2)
+	}
+}
+
+// TestRestoreRejects covers the mismatches Restore can detect.
+func TestRestoreRejects(t *testing.T) {
+	cfg := smallCfg(3, 6)
+	cfg.Duration = time.Hour
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUntil(t, e, 10)
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *cp
+	bad.Format = checkpointFormat + 1
+	if _, err := Restore(cfg, &bad); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+
+	bad = *cp
+	bad.Start = cp.Start.Add(time.Hour)
+	if _, err := Restore(cfg, &bad); err == nil {
+		t.Fatal("mismatched start accepted")
+	}
+
+	other := smallCfg(5, 6)
+	other.Duration = time.Hour
+	if _, err := Restore(other, cp); err == nil {
+		t.Fatal("mismatched population accepted")
+	}
+
+	bad = *cp
+	bad.Now = cp.Start.Add(48 * time.Hour)
+	if _, err := Restore(cfg, &bad); err == nil {
+		t.Fatal("out-of-span clock accepted")
+	}
+}
+
+// TestMetricsDistJSON pins the metrics.Dist round trip the checkpoint and
+// golden formats both depend on.
+func TestMetricsDistJSON(t *testing.T) {
+	metricsDistJSONStable(t, nil)
+	metricsDistJSONStable(t, []float64{0, 1, -1, 3.14159, 85.39999999999988, 1e-300, 1e300})
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"dgs/internal/frames"
+	"dgs/internal/linkbudget"
+	"dgs/internal/satellite"
+)
+
+// claim is one satellite's bid for a station in the current slot, under the
+// plan version it holds.
+type claim struct {
+	sat     int
+	rate    float64
+	version int
+}
+
+// slotAssign is a satellite's resolved planned assignment for one slot,
+// looked up once and shared by the claims pass and the execution pass.
+type slotAssign struct {
+	gs      int
+	rate    float64
+	version int
+}
+
+// downlinkStage executes the slot: every satellite acts on the plan it
+// holds. The backend knows which plan version each satellite holds (it
+// observed the TX contact that delivered it), so each station points at the
+// satellite claiming it under the *newest* held plan; when two satellites
+// on different plan versions claim one station, the older claim transmits
+// into a dish pointed elsewhere and the data is lost (retransmitted after
+// the nack timeout).
+type downlinkStage struct{}
+
+func (downlinkStage) name() string { return "downlink" }
+
+func (downlinkStage) run(e *Engine) error {
+	w := e.w
+	cfg := &w.cfg
+
+	// Resolve each satellite's planned assignment once for this step; both
+	// the claims pass and the execution pass below reuse it.
+	assigns := w.assigns
+	for i, s := range w.sats {
+		satPlan := s.heldPlan
+		if !cfg.Hybrid {
+			satPlan = w.latestPlan
+		}
+		gsIdx, plannedRate := satPlan.AssignmentFor(i, w.now)
+		v := 0
+		if satPlan != nil {
+			v = satPlan.Version
+		}
+		assigns[i] = slotAssign{gs: gsIdx, rate: plannedRate, version: v}
+	}
+	claims := w.claims // station -> claimants
+	clear(claims)
+	for i := range w.sats {
+		if assigns[i].gs < 0 {
+			continue
+		}
+		claims[assigns[i].gs] = append(claims[assigns[i].gs], claim{sat: i, rate: assigns[i].rate, version: assigns[i].version})
+	}
+	served := w.served // satellites a station listens to
+	clear(served)
+	for gsIdx, cs := range claims {
+		capacity := cfg.Stations[gsIdx].Capacity()
+		// Newest plan version wins; deterministic tie-break on index.
+		for k := 0; k < capacity && len(cs) > 0; k++ {
+			best := 0
+			for x := 1; x < len(cs); x++ {
+				if cs[x].version > cs[best].version ||
+					(cs[x].version == cs[best].version && cs[x].sat < cs[best].sat) {
+					best = x
+				}
+			}
+			served[cs[best].sat] = true
+			cs = append(cs[:best], cs[best+1:]...)
+		}
+	}
+	for i, s := range w.sats {
+		gsIdx, plannedRate := assigns[i].gs, assigns[i].rate
+		if gsIdx < 0 {
+			continue
+		}
+		listening := served[i]
+		gs := cfg.Stations[gsIdx]
+
+		// Truth channel at this instant.
+		if !w.ecefs[i].OK {
+			continue
+		}
+		look := frames.Look(gs.Location, w.ecefs[i].Pos)
+		if look.ElevationRad <= gs.MinElevationRad {
+			continue
+		}
+		wt := w.truth.At(gs.Location.LatRad, gs.Location.LonRad, w.now)
+		geo := linkbudget.Geometry{
+			RangeKm:         look.RangeKm,
+			ElevationRad:    look.ElevationRad,
+			StationLatRad:   gs.Location.LatRad,
+			StationHeightKm: gs.Location.AltKm,
+		}
+		actualRate := linkbudget.RateBps(cfg.Radio, gs.EffectiveTerminal(), geo, linkbudget.Conditions{
+			RainMmH: wt.RainMmH, CloudKgM2: wt.CloudKgM2,
+		})
+
+		txRate := plannedRate
+		decodable := true
+		if cfg.Hybrid {
+			// Open loop: the satellite uses the planned MODCOD. If the
+			// true channel is worse, the frames do not decode. If the
+			// station is pointed at a newer-plan satellite, nothing is
+			// listening at all.
+			if plannedRate > actualRate {
+				decodable = false
+			}
+			if !listening {
+				decodable = false
+			}
+		} else {
+			// Closed loop: receiver feedback picks the survivable rate.
+			txRate = actualRate
+			decodable = actualRate > 0 && listening
+		}
+		if txRate <= 0 {
+			continue
+		}
+
+		sent := s.store.Transmit(txRate * w.stepSec)
+		if len(sent) == 0 {
+			continue
+		}
+		w.res.SlotsMatched++
+		var sentBits float64
+		for _, c := range sent {
+			sentBits += c.Bits
+			s.txTime[c.ID] = w.now
+		}
+		if !decodable {
+			// Energy spent, nothing lands. Chunks sit in-flight until
+			// the ack machinery times them out back to pending.
+			if listening {
+				w.res.SlotsMispredicted++
+			} else {
+				w.res.SlotsStale++
+			}
+			w.res.LostGB += sentBits / GB
+			e.emitChunkLost(LossEvent{
+				Time: w.now, Sat: i, Station: gsIdx,
+				Bits: sentBits, Chunks: len(sent), Stale: !listening,
+			})
+			continue
+		}
+		endOfSlot := w.now.Add(cfg.Step)
+		for _, c := range sent {
+			w.received[i][c.ID] = chunkRx{receivedAt: endOfSlot, bits: c.Bits, captured: c.Captured}
+			w.receivedBits[i] += c.Bits
+			lat := endOfSlot.Sub(c.Captured).Minutes()
+			w.res.LatencyMin.Add(lat)
+			if s.eventIDs[c.ID] {
+				w.res.EventLatencyMin.Add(lat)
+			}
+			if len(e.obs) > 0 {
+				e.emitChunkDelivered(ChunkEvent{
+					Time: endOfSlot, Sat: i, Station: gsIdx,
+					ID: c.ID, Bits: c.Bits, Captured: c.Captured,
+					LatencyMin: lat, Priority: s.eventIDs[c.ID],
+				})
+			}
+		}
+		w.res.DeliveredGB += sentBits / GB
+		if !cfg.Hybrid {
+			// Immediate acks over the station's own uplink.
+			ids := make([]satellite.ChunkID, len(sent))
+			for k, c := range sent {
+				ids[k] = c.ID
+			}
+			freed := s.store.Ack(ids)
+			for _, id := range ids {
+				w.acked[i][id] = true
+				delete(s.txTime, id)
+			}
+			e.emitAck(AckEvent{Time: w.now, Sat: i, Chunks: len(ids), Bits: freed, Relayed: false})
+		}
+	}
+	return nil
+}

@@ -15,26 +15,34 @@
 //
 // The baseline of §4 runs in the same engine with Hybrid=false: five
 // six-channel stations, closed-loop (truth) rate selection, immediate acks.
+//
+// # Architecture
+//
+// The simulator is a staged engine over an explicit World state:
+//
+//   - World (world.go) owns every piece of mutable run state — satellite
+//     runtimes, backend received/acked maps, the current plan, the clock —
+//     plus the hot-path helpers (snapshot, txVisible) with reusable scratch.
+//   - Engine (engine.go) advances a World through ordered stages, one slot
+//     per Step: capture → plan → downlink → uplink → account, each in its
+//     own file and individually testable.
+//   - Observer (observer.go) hooks let metrics, trace collection, and the
+//     streaming JSONL EventRecorder (recorder.go) subscribe to the run
+//     without touching the engine; dispatch is skipped entirely when no
+//     observers are registered.
+//   - Checkpoint (checkpoint.go) serializes a World between slots;
+//     Restore rebuilds an Engine that finishes the run bit-identically to
+//     an uninterrupted one (the golden differential suite enforces this).
 package sim
 
 import (
 	"context"
-	"fmt"
-	"slices"
 	"time"
 
-	"dgs/internal/astro"
 	"dgs/internal/core"
-	"dgs/internal/frames"
 	"dgs/internal/linkbudget"
-	"dgs/internal/metrics"
-	"dgs/internal/orbit"
-	"dgs/internal/poscache"
-	"dgs/internal/satellite"
-	"dgs/internal/sgp4"
 	"dgs/internal/station"
 	"dgs/internal/tle"
-	"dgs/internal/weather"
 )
 
 // GB is one gigabyte in bits, the unit the paper reports backlog in.
@@ -90,7 +98,10 @@ type Config struct {
 	DaylightImaging bool
 	// EventsPerSatPerDay injects high-priority captures (the paper's flood
 	// and forest-fire motivation, §1/§3): each event is EventBits of
-	// priority data whose delivery latency is tracked separately.
+	// priority data whose delivery latency is tracked separately. The rate
+	// is capped at one event per second (86400/day): the injection period
+	// is quantized to whole seconds, so faster rates would truncate to a
+	// zero period and the drain loop could never advance.
 	EventsPerSatPerDay float64
 	// EventBits is the size of one event capture. Default 1 GB.
 	EventBits float64
@@ -103,9 +114,18 @@ type Config struct {
 	// bit-identical either way (the equivalence test enforces it); the
 	// knob exists for that cross-check and for ablating the predictor.
 	SweepVisibility bool
+	// Observers subscribe to simulation events (metrics mirrors, trace
+	// collection, the JSONL EventRecorder). Observers never change the
+	// Result; when the list is empty, event dispatch is skipped entirely
+	// so plain runs pay nothing.
+	Observers []Observer
 	// Progress, when non-nil, is called once per simulated day.
 	Progress func(day int, r *Result)
 }
+
+// maxEventsPerSatPerDay caps event injection at one event per second; see
+// Config.EventsPerSatPerDay.
+const maxEventsPerSatPerDay = 86400
 
 func (c Config) withDefaults() Config {
 	if c.Step <= 0 {
@@ -139,6 +159,9 @@ func (c Config) withDefaults() Config {
 	if c.UplinkRateBps <= 0 {
 		c.UplinkRateBps = linkbudget.UplinkRateBps
 	}
+	if c.EventsPerSatPerDay > maxEventsPerSatPerDay {
+		c.EventsPerSatPerDay = maxEventsPerSatPerDay
+	}
 	if c.EventBits <= 0 {
 		c.EventBits = 1 * GB
 	}
@@ -146,51 +169,6 @@ func (c Config) withDefaults() Config {
 		c.Start = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
 	}
 	return c
-}
-
-// Result aggregates the distributions the paper's figures report.
-type Result struct {
-	// BacklogGB samples per-satellite, per-day undelivered data (Fig. 3a).
-	BacklogGB metrics.Dist
-	// LatencyMin samples capture→reception latency per chunk (Fig. 3b/3c).
-	LatencyMin metrics.Dist
-	// PeakStorageGB samples per-satellite peak on-board storage — the §3.3
-	// storage-requirement discussion, one sample per satellite at the end.
-	PeakStorageGB metrics.Dist
-	// EventLatencyMin samples capture→reception latency for injected
-	// high-priority event data only.
-	EventLatencyMin metrics.Dist
-	// Totals.
-	GeneratedGB, DeliveredGB, LostGB float64
-	// TxContacts counts uplink opportunities used; PlanUploads counts plan
-	// adoptions (hybrid only).
-	TxContacts, PlanUploads int
-	// SlotsMatched counts satellite-slots with an executed transfer.
-	SlotsMatched int
-	// SlotsMispredicted counts transfers lost to forecast-driven MODCOD
-	// overshoot.
-	SlotsMispredicted int
-	// SlotsStale counts slots where a satellite's held plan disagreed with
-	// the station's current plan (hybrid fragility).
-	SlotsStale int
-}
-
-// satRuntime is a satellite's live state inside the simulation.
-type satRuntime struct {
-	prop  *sgp4.Propagator
-	store *satellite.Store
-
-	heldPlan *core.Plan // the plan on board (hybrid)
-	txTime   map[satellite.ChunkID]time.Time
-	// eventIDs marks injected high-priority chunks for separate latency
-	// accounting; nextEvent is the next injection time.
-	eventIDs  map[satellite.ChunkID]bool
-	nextEvent time.Time
-
-	// Uplink download progress toward adopting a newer plan. Switching to
-	// a still-newer plan mid-download restarts the transfer.
-	upVersion int
-	upBits    float64
 }
 
 // planWireBits estimates the uplink size of the slice of a plan one
@@ -201,448 +179,15 @@ func planWireBits(p *core.Plan, sat int) float64 {
 	return headerBits + float64(p.AssignedSlotCount(sat))*recordBits
 }
 
-// chunkRx is a backend record of a received chunk.
-type chunkRx struct {
-	receivedAt time.Time
-	bits       float64
-	captured   time.Time
-}
-
 // Run executes the simulation and returns the aggregated result. ctx is
 // checked at every slot boundary: cancellation stops the run cleanly
 // between slots (never mid-slot, so invariants hold) and returns an error
-// wrapping ctx.Err().
+// wrapping ctx.Err(). Run is NewEngine + Engine.Run; drive the Engine
+// directly for checkpointing or custom pacing.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if len(cfg.Stations) == 0 || len(cfg.TLEs) == 0 {
-		return nil, fmt.Errorf("sim: need stations and satellites")
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if err := cfg.Stations.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	if cfg.Hybrid && len(cfg.Stations.TxStations()) == 0 {
-		return nil, fmt.Errorf("sim: hybrid run requires at least one TX-capable station")
-	}
-
-	// Weather: truth field + forecast view for the scheduler.
-	var truth weather.Provider = weather.Clear{}
-	var fc *weather.Forecast
-	if !cfg.ClearSky {
-		field := weather.NewField(cfg.WeatherSeed)
-		truth = field
-		fc = weather.NewForecast(field, cfg.ForecastErr)
-	}
-
-	// Satellites.
-	sats := make([]*satRuntime, 0, len(cfg.TLEs))
-	genRate := cfg.GenBitsPerDay / 86400.0
-	for i, el := range cfg.TLEs {
-		p, err := sgp4.New(el)
-		if err != nil {
-			return nil, fmt.Errorf("sim: satellite %d: %w", i, err)
-		}
-		st := satellite.NewStore(el.Name, genRate, cfg.ChunkBits)
-		st.Generate(cfg.Start)
-		sr := &satRuntime{
-			prop:     p,
-			store:    st,
-			txTime:   make(map[satellite.ChunkID]time.Time),
-			eventIDs: make(map[satellite.ChunkID]bool),
-		}
-		if cfg.EventsPerSatPerDay > 0 {
-			// Deterministic stagger: satellite i's first event arrives i
-			// fractional periods into the day.
-			period := time.Duration(86400/cfg.EventsPerSatPerDay) * time.Second
-			sr.nextEvent = cfg.Start.Add(time.Duration(i%97) * period / 97)
-		}
-		sats = append(sats, sr)
-	}
-
-	// One shared position cache serves the sim main loop (per-step
-	// propagation, TX-contact checks) and the scheduler's planning sweep:
-	// each instant is propagated exactly once, in parallel over the pool.
-	props := make([]orbit.Propagator, len(sats))
-	for i, s := range sats {
-		props[i] = s.prop
-	}
-	positions := poscache.New(props)
-	positions.Workers = cfg.Workers
-
-	sched := &core.Scheduler{
-		Radio:     cfg.Radio,
-		Stations:  cfg.Stations,
-		Value:     cfg.Value,
-		Match:     cfg.Matcher,
-		Forecast:  fc,
-		Workers:   cfg.Workers,
-		Positions: positions,
-		UseSweep:  cfg.SweepVisibility,
-	}
-
-	// Backend state: per satellite, chunks received on the ground and the
-	// subset already acked to the satellite.
-	received := make([]map[satellite.ChunkID]chunkRx, len(sats))
-	acked := make([]map[satellite.ChunkID]bool, len(sats))
-	receivedBits := make([]float64, len(sats))
-	for i := range received {
-		received[i] = make(map[satellite.ChunkID]chunkRx)
-		acked[i] = make(map[satellite.ChunkID]bool)
-	}
-
-	res := &Result{}
-	var latestPlan *core.Plan
-	nextPlan := cfg.Start
-	end := cfg.Start.Add(cfg.Duration)
-	day := 0
-	nextDayMark := cfg.Start.Add(24 * time.Hour)
-
-	snapshot := func(now time.Time) []core.SatSnapshot {
-		out := make([]core.SatSnapshot, len(sats))
-		for i, s := range sats {
-			pending := s.store.GeneratedBits() - receivedBits[i]
-			if pending < 0 {
-				pending = 0
-			}
-			age := time.Duration(0)
-			if when, ok := s.store.OldestPending(); ok {
-				age = now.Sub(when)
-			}
-			out[i] = core.SatSnapshot{
-				Prop:        s.prop,
-				PendingBits: pending,
-				OldestAge:   age,
-			}
-		}
-		return out
-	}
-
-	txStations := cfg.Stations.TxStations()
-
-	stepSec := cfg.Step.Seconds()
-	for now := cfg.Start; now.Before(end); now = now.Add(cfg.Step) {
-		// Cancellation is honored only at slot boundaries so a canceled run
-		// never leaves a slot half-executed.
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("sim: canceled at %v: %w", now, err)
-		}
-		// 0. Propagate every satellite once for this slot, through the
-		// shared cache: the fill fans out over the worker pool, and when
-		// the planner already touched this instant it is a pure lookup.
-		// Instants behind the clock can never be asked for again — prune.
-		positions.Prune(now)
-		jd := astro.JulianDate(now)
-		ecefs := positions.At(now)
-		// txVisible: the satellite is above the elevation mask of some
-		// transmit-capable station (an uplink opportunity: plan upload +
-		// cumulative acks on the low-rate S-band side channel).
-		txVisible := func(i int) bool {
-			if !ecefs[i].OK {
-				return false
-			}
-			for _, gs := range txStations {
-				if frames.Look(gs.Location, ecefs[i].Pos).ElevationRad > gs.MinElevationRad {
-					return true
-				}
-			}
-			return false
-		}
-
-		// 1. Capture new imagery. With DaylightImaging the imager only runs
-		// while the satellite is over the sunlit hemisphere: the position
-		// vector has a positive component toward the Sun. The sun vector is
-		// in TEME; compare against the TEME position (rotate back).
-		var sunX, sunY, sunZ float64
-		if cfg.DaylightImaging {
-			sunX, sunY, sunZ = astro.SunDirection(jd)
-		}
-		for i, s := range sats {
-			if cfg.DaylightImaging {
-				if !ecefs[i].OK {
-					s.store.Skip(now)
-					continue
-				}
-				teme := frames.ECEFToTEME(ecefs[i].Pos, jd)
-				if teme.X*sunX+teme.Y*sunY+teme.Z*sunZ <= 0 {
-					s.store.Skip(now)
-					continue
-				}
-			}
-			s.store.Generate(now)
-		}
-		// High-priority event injection.
-		if cfg.EventsPerSatPerDay > 0 {
-			period := time.Duration(86400/cfg.EventsPerSatPerDay) * time.Second
-			for _, s := range sats {
-				for !s.nextEvent.IsZero() && !now.Before(s.nextEvent) {
-					id := s.store.AddChunk(s.nextEvent, cfg.EventBits, 10)
-					s.eventIDs[id] = true
-					s.nextEvent = s.nextEvent.Add(period)
-				}
-			}
-		}
-
-		// 2. Re-plan at epochs.
-		if !now.Before(nextPlan) {
-			latestPlan = sched.PlanEpoch(snapshot(now), now, cfg.PlanHorizon, cfg.Step, genRate)
-			nextPlan = now.Add(cfg.PlanEvery)
-			if !cfg.Hybrid {
-				// Centralized baseline: satellites always hold the latest plan.
-				for _, s := range sats {
-					s.heldPlan = latestPlan
-				}
-			}
-		}
-
-		// 3. Execute the slot. Every satellite acts on the plan it holds.
-		// The backend knows which plan version each satellite holds (it
-		// observed the TX contact that delivered it), so each station
-		// points at the satellite claiming it under the *newest* held plan;
-		// when two satellites on different plan versions claim one station,
-		// the older claim transmits into a dish pointed elsewhere and the
-		// data is lost (retransmitted after the nack timeout).
-		type claim struct {
-			sat     int
-			rate    float64
-			version int
-		}
-		// Resolve each satellite's planned assignment once for this step;
-		// both the claims pass and the execution pass below reuse it.
-		type slotAssign struct {
-			gs      int
-			rate    float64
-			version int
-		}
-		assigns := make([]slotAssign, len(sats))
-		for i, s := range sats {
-			satPlan := s.heldPlan
-			if !cfg.Hybrid {
-				satPlan = latestPlan
-			}
-			gsIdx, plannedRate := satPlan.AssignmentFor(i, now)
-			v := 0
-			if satPlan != nil {
-				v = satPlan.Version
-			}
-			assigns[i] = slotAssign{gs: gsIdx, rate: plannedRate, version: v}
-		}
-		claims := make(map[int][]claim) // station -> claimants
-		for i := range sats {
-			if assigns[i].gs < 0 {
-				continue
-			}
-			claims[assigns[i].gs] = append(claims[assigns[i].gs], claim{sat: i, rate: assigns[i].rate, version: assigns[i].version})
-		}
-		served := make(map[int]bool) // satellites a station listens to
-		for gsIdx, cs := range claims {
-			capacity := cfg.Stations[gsIdx].Capacity()
-			// Newest plan version wins; deterministic tie-break on index.
-			for k := 0; k < capacity && len(cs) > 0; k++ {
-				best := 0
-				for x := 1; x < len(cs); x++ {
-					if cs[x].version > cs[best].version ||
-						(cs[x].version == cs[best].version && cs[x].sat < cs[best].sat) {
-						best = x
-					}
-				}
-				served[cs[best].sat] = true
-				cs = append(cs[:best], cs[best+1:]...)
-			}
-		}
-		for i, s := range sats {
-			gsIdx, plannedRate := assigns[i].gs, assigns[i].rate
-			if gsIdx < 0 {
-				continue
-			}
-			listening := served[i]
-			gs := cfg.Stations[gsIdx]
-
-			// Truth channel at this instant.
-			if !ecefs[i].OK {
-				continue
-			}
-			look := frames.Look(gs.Location, ecefs[i].Pos)
-			if look.ElevationRad <= gs.MinElevationRad {
-				continue
-			}
-			w := truth.At(gs.Location.LatRad, gs.Location.LonRad, now)
-			geo := linkbudget.Geometry{
-				RangeKm:         look.RangeKm,
-				ElevationRad:    look.ElevationRad,
-				StationLatRad:   gs.Location.LatRad,
-				StationHeightKm: gs.Location.AltKm,
-			}
-			actualRate := linkbudget.RateBps(cfg.Radio, gs.EffectiveTerminal(), geo, linkbudget.Conditions{
-				RainMmH: w.RainMmH, CloudKgM2: w.CloudKgM2,
-			})
-
-			txRate := plannedRate
-			decodable := true
-			if cfg.Hybrid {
-				// Open loop: the satellite uses the planned MODCOD. If the
-				// true channel is worse, the frames do not decode. If the
-				// station is pointed at a newer-plan satellite, nothing is
-				// listening at all.
-				if plannedRate > actualRate {
-					decodable = false
-				}
-				if !listening {
-					decodable = false
-				}
-			} else {
-				// Closed loop: receiver feedback picks the survivable rate.
-				txRate = actualRate
-				decodable = actualRate > 0 && listening
-			}
-			if txRate <= 0 {
-				continue
-			}
-
-			sent := s.store.Transmit(txRate * stepSec)
-			if len(sent) == 0 {
-				continue
-			}
-			res.SlotsMatched++
-			var sentBits float64
-			for _, c := range sent {
-				sentBits += c.Bits
-				s.txTime[c.ID] = now
-			}
-			if !decodable {
-				// Energy spent, nothing lands. Chunks sit in-flight until
-				// the ack machinery times them out back to pending.
-				if listening {
-					res.SlotsMispredicted++
-				} else {
-					res.SlotsStale++
-				}
-				res.LostGB += sentBits / GB
-				continue
-			}
-			endOfSlot := now.Add(cfg.Step)
-			for _, c := range sent {
-				received[i][c.ID] = chunkRx{receivedAt: endOfSlot, bits: c.Bits, captured: c.Captured}
-				receivedBits[i] += c.Bits
-				lat := endOfSlot.Sub(c.Captured).Minutes()
-				res.LatencyMin.Add(lat)
-				if s.eventIDs[c.ID] {
-					res.EventLatencyMin.Add(lat)
-				}
-			}
-			res.DeliveredGB += sentBits / GB
-			if !cfg.Hybrid {
-				// Immediate acks over the station's own uplink.
-				ids := make([]satellite.ChunkID, len(sent))
-				for k, c := range sent {
-					ids[k] = c.ID
-				}
-				s.store.Ack(ids)
-				for _, id := range ids {
-					acked[i][id] = true
-					delete(s.txTime, id)
-				}
-			}
-		}
-
-		// 4. Hybrid control plane: plan uploads, delayed acks, loss nacks.
-		if cfg.Hybrid {
-			for i, s := range sats {
-				if !txVisible(i) {
-					continue
-				}
-				res.TxContacts++
-				// The S-band uplink budget for this slot pays for the ack
-				// digest first, then plan download; a plan is adopted only
-				// once fully received (possibly across several contacts).
-				upBudget := cfg.UplinkRateBps * stepSec
-
-				// Cumulative acks: everything the backend has had for at
-				// least AckDelay.
-				var ids []satellite.ChunkID
-				for id, rx := range received[i] {
-					if !acked[i][id] && !rx.receivedAt.After(now.Add(-cfg.AckDelay)) {
-						ids = append(ids, id)
-					}
-				}
-				// Map iteration order is random; sort so a truncated
-				// digest acks a deterministic prefix.
-				slices.Sort(ids)
-				if len(ids) > 0 {
-					digestBits := 96*8 + float64(len(ids))*64
-					if digestBits > upBudget {
-						// Partial digest: ack as many as fit.
-						fit := int((upBudget - 96*8) / 64)
-						if fit < 0 {
-							fit = 0
-						}
-						ids = ids[:fit]
-						digestBits = upBudget
-					}
-					upBudget -= digestBits
-					s.store.Ack(ids)
-					for _, id := range ids {
-						acked[i][id] = true
-						delete(s.txTime, id)
-					}
-				}
-				// Plan download.
-				if latestPlan != nil && (s.heldPlan == nil || latestPlan.Version > s.heldPlan.Version) {
-					if s.upVersion != latestPlan.Version {
-						s.upVersion = latestPlan.Version
-						s.upBits = 0
-					}
-					s.upBits += upBudget
-					if s.upBits >= planWireBits(latestPlan, i) {
-						s.heldPlan = latestPlan
-						s.upBits = 0
-						res.PlanUploads++
-					}
-				}
-				// Negative acks: chunks transmitted long enough ago that a
-				// report would have arrived were they received.
-				lossDeadline := now.Add(-cfg.AckDelay - 2*cfg.Step)
-				var lost []satellite.ChunkID
-				for id, at := range s.txTime {
-					if _, ok := received[i][id]; ok {
-						continue
-					}
-					if at.Before(lossDeadline) {
-						lost = append(lost, id)
-					}
-				}
-				if len(lost) > 0 {
-					slices.Sort(lost)
-					s.store.Nack(lost)
-					for _, id := range lost {
-						delete(s.txTime, id)
-					}
-				}
-			}
-		}
-
-		// 5. Daily accounting.
-		if !now.Add(cfg.Step).Before(nextDayMark) {
-			day++
-			for i, s := range sats {
-				res.BacklogGB.Add((s.store.GeneratedBits() - receivedBits[i]) / GB)
-			}
-			res.GeneratedGB = 0
-			for _, s := range sats {
-				res.GeneratedGB += s.store.GeneratedBits() / GB
-			}
-			if cfg.Progress != nil {
-				cfg.Progress(day, res)
-			}
-			nextDayMark = nextDayMark.Add(24 * time.Hour)
-		}
-	}
-
-	res.GeneratedGB = 0
-	for _, s := range sats {
-		res.GeneratedGB += s.store.GeneratedBits() / GB
-		res.PeakStorageGB.Add(s.store.PeakStoredBits() / GB)
-		if err := s.store.CheckConservation(); err != nil {
-			return res, err
-		}
-	}
-	return res, nil
+	return e.Run(ctx)
 }

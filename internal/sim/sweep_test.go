@@ -14,6 +14,9 @@ import (
 // exhaustive per-slot sweep, at any worker count, with weather, forecast
 // error, and event traffic all active.
 func TestSweepWindowEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end equivalence matrix skipped in -short; the golden suite covers one sweep variant")
+	}
 	base := smallCfg(8, 24)
 	base.Duration = 6 * time.Hour
 	base.ClearSky = false

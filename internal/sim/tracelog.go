@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"slices"
+	"time"
+
+	"dgs/internal/trace"
+)
+
+// ContactTrace is an Observer that reconstructs satellite–station contacts
+// from downlink activity and records them in a trace.Log, in the style of
+// the SatNOGS observation database the paper validates against. Consecutive
+// active slots of one (satellite, station) pair merge into one observation;
+// a gap closes it. Call Flush after the run to close the contacts still
+// open at the end.
+//
+// The reconstruction sees executed downlink slots (delivered or lost), not
+// raw geometric visibility, so it records the contacts the network actually
+// used — the view a ground-station operator's logs would give.
+type ContactTrace struct {
+	// Log receives the closed observations.
+	Log *trace.Log
+	// Step is the slot length used to decide whether two active slots are
+	// consecutive; use the run's Config.Step.
+	Step time.Duration
+
+	open map[[2]int]*openContact
+}
+
+type openContact struct {
+	first, last time.Time
+}
+
+// NewContactTrace creates a contact reconstructor appending to log.
+func NewContactTrace(log *trace.Log, step time.Duration) *ContactTrace {
+	return &ContactTrace{Log: log, Step: step, open: make(map[[2]int]*openContact)}
+}
+
+func (c *ContactTrace) touch(sat, station int, t time.Time) {
+	key := [2]int{sat, station}
+	if oc, ok := c.open[key]; ok {
+		if t.Sub(oc.last) <= c.Step {
+			oc.last = t
+			return
+		}
+		c.close(key, oc)
+	}
+	c.open[key] = &openContact{first: t, last: t}
+}
+
+func (c *ContactTrace) close(key [2]int, oc *openContact) {
+	c.Log.Add(trace.Observation{
+		Station: key[1],
+		Sat:     key[0],
+		Rise:    oc.first,
+		// The pair was still active at the last slot's start, so the
+		// contact covers that whole slot.
+		Set: oc.last.Add(c.Step),
+	})
+	delete(c.open, key)
+}
+
+// Flush closes every still-open contact, in (satellite, station) order so
+// the log's insertion order is deterministic. Call it once after the run.
+func (c *ContactTrace) Flush() {
+	keys := make([][2]int, 0, len(c.open))
+	for key := range c.open {
+		keys = append(keys, key)
+	}
+	slices.SortFunc(keys, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	for _, key := range keys {
+		c.close(key, c.open[key])
+	}
+}
+
+// OnSlot implements Observer.
+func (c *ContactTrace) OnSlot(SlotEvent) {}
+
+// OnPlan implements Observer.
+func (c *ContactTrace) OnPlan(PlanEvent) {}
+
+// OnChunkDelivered implements Observer. Delivery events carry the end-of-
+// slot timestamp; shift back to the slot start so delivered and lost slots
+// land on the same grid.
+func (c *ContactTrace) OnChunkDelivered(ev ChunkEvent) {
+	c.touch(ev.Sat, ev.Station, ev.Time.Add(-c.Step))
+}
+
+// OnChunkLost implements Observer. A lost slot is still a live RF contact:
+// the satellite transmitted into the pass even though nothing decoded.
+func (c *ContactTrace) OnChunkLost(ev LossEvent) {
+	c.touch(ev.Sat, ev.Station, ev.Time)
+}
+
+// OnAck implements Observer.
+func (c *ContactTrace) OnAck(AckEvent) {}

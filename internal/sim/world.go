@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"dgs/internal/core"
+	"dgs/internal/frames"
+	"dgs/internal/poscache"
+	"dgs/internal/satellite"
+	"dgs/internal/sgp4"
+	"dgs/internal/station"
+	"dgs/internal/weather"
+
+	"dgs/internal/orbit"
+)
+
+// satRuntime is a satellite's live state inside the simulation.
+type satRuntime struct {
+	prop  *sgp4.Propagator
+	store *satellite.Store
+
+	heldPlan *core.Plan // the plan on board (hybrid)
+	txTime   map[satellite.ChunkID]time.Time
+	// eventIDs marks injected high-priority chunks for separate latency
+	// accounting; nextEvent is the next injection time.
+	eventIDs  map[satellite.ChunkID]bool
+	nextEvent time.Time
+
+	// Uplink download progress toward adopting a newer plan. Switching to
+	// a still-newer plan mid-download restarts the transfer.
+	upVersion int
+	upBits    float64
+}
+
+// chunkRx is a backend record of a received chunk.
+type chunkRx struct {
+	receivedAt time.Time
+	bits       float64
+	captured   time.Time
+}
+
+// World is the explicit mutable state of one simulation run: the satellite
+// runtimes, the backend's received/acked bookkeeping, the current plan, and
+// the clock. The Engine advances a World through its stages; Checkpoint
+// serializes it. World methods hold the state helpers the stages share
+// (visibility tests, scheduler snapshots) with their scratch hoisted off
+// the per-slot hot path.
+type World struct {
+	cfg     Config
+	genRate float64
+	stepSec float64
+	// eventPeriod is the high-priority injection period, computed once per
+	// run (zero when injection is off).
+	eventPeriod time.Duration
+
+	sats       []*satRuntime
+	truth      weather.Provider
+	fc         *weather.Forecast
+	positions  *poscache.Cache
+	sched      *core.Scheduler
+	txStations station.Network
+
+	// Backend state: per satellite, chunks received on the ground and the
+	// subset already acked to the satellite.
+	received     []map[satellite.ChunkID]chunkRx
+	acked        []map[satellite.ChunkID]bool
+	receivedBits []float64
+
+	// Clock and plan-epoch state.
+	now         time.Time
+	end         time.Time
+	step        int // slot index from run start
+	latestPlan  *core.Plan
+	nextPlan    time.Time
+	day         int
+	nextDayMark time.Time
+
+	res *Result
+
+	// Per-slot shared state, refreshed by the engine prologue.
+	jd    float64
+	ecefs []poscache.Entry
+
+	// Reusable scratch (hoisted out of the hot loop).
+	snapBuf []core.SatSnapshot
+	assigns []slotAssign
+	claims  map[int][]claim
+	served  map[int]bool
+}
+
+// newWorld validates the configuration and builds the initial run state.
+// cfg must already have defaults applied.
+func newWorld(cfg Config) (*World, error) {
+	if len(cfg.Stations) == 0 || len(cfg.TLEs) == 0 {
+		return nil, fmt.Errorf("sim: need stations and satellites")
+	}
+	if err := cfg.Stations.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.Hybrid && len(cfg.Stations.TxStations()) == 0 {
+		return nil, fmt.Errorf("sim: hybrid run requires at least one TX-capable station")
+	}
+
+	w := &World{
+		cfg:     cfg,
+		genRate: cfg.GenBitsPerDay / 86400.0,
+		stepSec: cfg.Step.Seconds(),
+	}
+
+	// Weather: truth field + forecast view for the scheduler.
+	w.truth = weather.Clear{}
+	if !cfg.ClearSky {
+		field := weather.NewField(cfg.WeatherSeed)
+		w.truth = field
+		w.fc = weather.NewForecast(field, cfg.ForecastErr)
+	}
+
+	// Satellites.
+	w.sats = make([]*satRuntime, 0, len(cfg.TLEs))
+	if cfg.EventsPerSatPerDay > 0 {
+		w.eventPeriod = time.Duration(86400/cfg.EventsPerSatPerDay) * time.Second
+	}
+	for i, el := range cfg.TLEs {
+		p, err := sgp4.New(el)
+		if err != nil {
+			return nil, fmt.Errorf("sim: satellite %d: %w", i, err)
+		}
+		st := satellite.NewStore(el.Name, w.genRate, cfg.ChunkBits)
+		st.Generate(cfg.Start)
+		sr := &satRuntime{
+			prop:     p,
+			store:    st,
+			txTime:   make(map[satellite.ChunkID]time.Time),
+			eventIDs: make(map[satellite.ChunkID]bool),
+		}
+		if w.eventPeriod > 0 {
+			// Deterministic stagger: satellite i's first event arrives i
+			// fractional periods into the day.
+			sr.nextEvent = cfg.Start.Add(time.Duration(i%97) * w.eventPeriod / 97)
+		}
+		w.sats = append(w.sats, sr)
+	}
+
+	// One shared position cache serves the engine (per-step propagation,
+	// TX-contact checks) and the scheduler's planning sweep: each instant
+	// is propagated exactly once, in parallel over the pool.
+	props := make([]orbit.Propagator, len(w.sats))
+	for i, s := range w.sats {
+		props[i] = s.prop
+	}
+	w.positions = poscache.New(props)
+	w.positions.Workers = cfg.Workers
+
+	w.sched = &core.Scheduler{
+		Radio:     cfg.Radio,
+		Stations:  cfg.Stations,
+		Value:     cfg.Value,
+		Match:     cfg.Matcher,
+		Forecast:  w.fc,
+		Workers:   cfg.Workers,
+		Positions: w.positions,
+		UseSweep:  cfg.SweepVisibility,
+	}
+
+	w.received = make([]map[satellite.ChunkID]chunkRx, len(w.sats))
+	w.acked = make([]map[satellite.ChunkID]bool, len(w.sats))
+	w.receivedBits = make([]float64, len(w.sats))
+	for i := range w.received {
+		w.received[i] = make(map[satellite.ChunkID]chunkRx)
+		w.acked[i] = make(map[satellite.ChunkID]bool)
+	}
+
+	w.res = &Result{}
+	w.now = cfg.Start
+	w.end = cfg.Start.Add(cfg.Duration)
+	w.nextPlan = cfg.Start
+	w.nextDayMark = cfg.Start.Add(24 * time.Hour)
+	w.txStations = cfg.Stations.TxStations()
+
+	w.assigns = make([]slotAssign, len(w.sats))
+	w.claims = make(map[int][]claim)
+	w.served = make(map[int]bool)
+	return w, nil
+}
+
+// txVisible reports whether satellite i is above the elevation mask of some
+// transmit-capable station at the current slot (an uplink opportunity: plan
+// upload + cumulative acks on the low-rate S-band side channel). It reads
+// the slot's cached positions; the engine prologue must have run.
+func (w *World) txVisible(i int) bool {
+	if !w.ecefs[i].OK {
+		return false
+	}
+	for _, gs := range w.txStations {
+		if frames.Look(gs.Location, w.ecefs[i].Pos).ElevationRad > gs.MinElevationRad {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot assembles the scheduler's view of every satellite queue at time
+// now, reusing the World's snapshot buffer (the scheduler copies what it
+// needs to keep).
+func (w *World) snapshot(now time.Time) []core.SatSnapshot {
+	if cap(w.snapBuf) < len(w.sats) {
+		w.snapBuf = make([]core.SatSnapshot, len(w.sats))
+	}
+	out := w.snapBuf[:len(w.sats)]
+	for i, s := range w.sats {
+		pending := s.store.GeneratedBits() - w.receivedBits[i]
+		if pending < 0 {
+			pending = 0
+		}
+		age := time.Duration(0)
+		if when, ok := s.store.OldestPending(); ok {
+			age = now.Sub(when)
+		}
+		out[i] = core.SatSnapshot{
+			Prop:        s.prop,
+			PendingBits: pending,
+			OldestAge:   age,
+		}
+	}
+	return out
+}
+
+// Result returns the run's accumulating result.
+func (w *World) Result() *Result { return w.res }
+
+// Now returns the next slot to execute.
+func (w *World) Now() time.Time { return w.now }

@@ -1,0 +1,106 @@
+// Command importcheck enforces the repo's zero-dependency policy: every
+// import in every Go file must be either part of the standard library or
+// internal to this module. The module has no require directives, so a
+// foreign import would fail the build anyway — but only at the first `go
+// build` after it sneaks in, with a confusing resolution error. This check
+// fails fast with a clear message and runs in CI.
+//
+// Heuristic: an import path rooted in the module name is internal; a first
+// path segment without a dot is standard library ("fmt", "encoding/json",
+// "golang.org/x/..." has a dot and is foreign). This is the same rule the
+// go command used for GOPATH-era vendoring and holds for every stdlib
+// package.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// moduleName extracts the module path from go.mod.
+func moduleName(root string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if name, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(name), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", root)
+}
+
+// allowed reports whether an import path is stdlib or module-internal.
+func allowed(path, module string) bool {
+	if path == module || strings.HasPrefix(path, module+"/") {
+		return true
+	}
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	module, err := moduleName(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "importcheck:", err)
+		os.Exit(2)
+	}
+
+	var bad []string
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and testdata (may hold intentionally
+			// unbuildable fixtures).
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !allowed(p, module) {
+				bad = append(bad, fmt.Sprintf("%s: imports %q", path, p))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "importcheck:", err)
+		os.Exit(2)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "importcheck: %d import(s) outside stdlib and module %q:\n", len(bad), module)
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "  "+b)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("importcheck: all imports stdlib or %s-internal\n", module)
+}
