@@ -1,6 +1,6 @@
 # DGS reproduction — build/test/bench entry points.
 
-.PHONY: all build test ci bench race
+.PHONY: all build test ci bench race serve
 
 all: build
 
@@ -15,6 +15,11 @@ race:
 
 ci:
 	./ci.sh
+
+# serve runs the HTTP query API over the paper's full population on the
+# default port; see README "Querying the network over HTTP".
+serve:
+	go run ./cmd/dgs-api
 
 # bench records the perf trajectory: wall-clock (ns/op) plus each figure
 # bench's headline metrics, written to BENCH_sim.json. The file keeps a

@@ -24,13 +24,42 @@ echo "== go build"
 go build ./...
 
 echo "== go test"
-go test ./...
+# -shuffle=on randomizes test order so inter-test state dependencies
+# surface in CI instead of in the field.
+go test -shuffle=on ./...
 
-echo "== go test -race (parallel pipeline + session layer)"
+echo "== go test -race (parallel pipeline + session + serving layers)"
 # The backend/proto/faultnet trio includes the seeded chunk-dedup chaos
 # equivalence test — reconnect, resume, and replay-dedup all race-checked.
+# serve hosts the HTTP query layer's 40-client mixed-workload storm.
 go test -race ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget \
-    ./internal/backend ./internal/proto ./internal/faultnet
+    ./internal/backend ./internal/proto ./internal/faultnet ./internal/serve
+
+echo "== serve smoke (dgs-api + loadgen)"
+# Boot the API on an ephemeral port over a small world, drive it with the
+# load generator for ~2s (loadgen exits 1 on any transport error, 400, or
+# 5xx), then SIGINT and require a clean graceful-shutdown exit.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/dgs-api" ./cmd/dgs-api
+go build -o "$smokedir/loadgen" ./tools/loadgen
+"$smokedir/dgs-api" -listen 127.0.0.1:0 -sats 16 -stations 12 -max-span 6h > "$smokedir/api.log" 2>&1 &
+api_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/.*serving on \([0-9.:]*\).*/\1/p' "$smokedir/api.log")
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "dgs-api never came up:" >&2
+    cat "$smokedir/api.log" >&2
+    exit 1
+fi
+"$smokedir/loadgen" -addr "$addr" -c 8 -d 2s
+kill -INT "$api_pid"
+wait "$api_pid" || { echo "dgs-api did not shut down cleanly:" >&2; cat "$smokedir/api.log" >&2; exit 1; }
+grep -q "clean shutdown" "$smokedir/api.log"
 
 
 echo "== bench trajectory (advisory, recorded BENCH_sim.json)"

@@ -1,0 +1,112 @@
+// Command dgs-api serves the ground-station-as-a-service query layer: an
+// HTTP JSON API answering pass-prediction, link-budget, and planning
+// queries over a synthetic world loaded once at startup (internal/serve).
+//
+// Usage:
+//
+//	dgs-api -listen 127.0.0.1:8041
+//	curl 'http://127.0.0.1:8041/v1/passes?sat=3&hours=6'
+//
+// The server logs its bound address on startup (so -listen :0 works for
+// scripts), sheds overload with 429 + Retry-After, and drains in-flight
+// requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dgs/internal/cliutil"
+	"dgs/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8041", "listen address (use :0 for an ephemeral port)")
+	sats := flag.Int("sats", 259, "constellation size")
+	stations := flag.Int("stations", 173, "ground-station count")
+	seed := flag.Int64("seed", 1, "population seed")
+	txFraction := flag.Float64("tx-fraction", 0.1, "fraction of transmit-capable stations")
+	clearSky := flag.Bool("clear-sky", false, "disable weather attenuation")
+	forecastErr := flag.Float64("forecast-err", 0.3, "saturated forecast error fraction")
+	genGB := flag.Float64("gen-gb", 100, "per-satellite capture volume assumed for plan queries, GB/day")
+	slot := flag.Duration("slot", time.Minute, "query time grid and default plan slot")
+	maxSpan := flag.Duration("max-span", 48*time.Hour, "servable horizon past the epoch")
+	workers := flag.Int("workers", 0, "propagation/planning workers (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 4096, "response cache entries (negative disables)")
+	inflight := flag.Int("inflight", 0, "max concurrent compute-path requests (0 = 2x workers)")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	cliutil.PositiveInt("sats", *sats)
+	cliutil.PositiveInt("stations", *stations)
+	cliutil.Fraction("tx-fraction", *txFraction)
+	cliutil.Fraction("forecast-err", *forecastErr)
+	cliutil.PositiveFloat("gen-gb", *genGB)
+	cliutil.PositiveDuration("slot", *slot)
+	cliutil.PositiveDuration("max-span", *maxSpan)
+	cliutil.NonNegativeInt("workers", *workers)
+	cliutil.NonNegativeInt("inflight", *inflight)
+	cliutil.PositiveDuration("drain", *drain)
+
+	t0 := time.Now()
+	snap, err := serve.NewSnapshot(serve.SnapshotConfig{
+		Satellites:  *sats,
+		Stations:    *stations,
+		Seed:        *seed,
+		TxFraction:  *txFraction,
+		ClearSky:    *clearSky,
+		ForecastErr: *forecastErr,
+		GenGBPerDay: *genGB,
+		Slot:        *slot,
+		MaxSpan:     *maxSpan,
+		Workers:     *workers,
+	})
+	if err != nil {
+		log.Fatalf("dgs-api: %v", err)
+	}
+	api := serve.New(snap, serve.Config{
+		MaxInFlight:  *inflight,
+		CacheEntries: *cache,
+		Pprof:        *pprof,
+	})
+	log.Printf("dgs-api: loaded %d satellites / %d stations in %v", snap.Sats(), snap.Stations(), time.Since(t0).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("dgs-api: %v", err)
+	}
+	srv := &http.Server{Handler: api.Handler()}
+	log.Printf("dgs-api: serving on %s (epoch %s, span %v, slot %v)",
+		ln.Addr(), snap.Config().Epoch.Format(time.RFC3339), *maxSpan, *slot)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		log.Fatalf("dgs-api: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("dgs-api: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatalf("dgs-api: shutdown: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("dgs-api: %v", err)
+	}
+	log.Print("dgs-api: clean shutdown")
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"dgs"
+	"dgs/internal/cliutil"
 	"dgs/internal/metrics"
 	"dgs/internal/sim"
 )
@@ -32,6 +33,9 @@ func main() {
 	sats := flag.Int("sats", 259, "constellation size")
 	stations := flag.Int("stations", 173, "DGS network size")
 	flag.Parse()
+	cliutil.PositiveInt("days", *days)
+	cliutil.PositiveInt("sats", *sats)
+	cliutil.PositiveInt("stations", *stations)
 
 	opt := dgs.Options{
 		Days:       *days,

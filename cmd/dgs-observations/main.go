@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"dgs/internal/cliutil"
 	"dgs/internal/dataset"
 	"dgs/internal/orbit"
 	"dgs/internal/sgp4"
@@ -26,6 +27,9 @@ func main() {
 	hours := flag.Float64("hours", 24, "observation window, hours")
 	seed := flag.Int64("seed", 1, "population seed")
 	flag.Parse()
+	cliutil.PositiveInt("sats", *sats)
+	cliutil.PositiveInt("stations", *stations)
+	cliutil.PositiveFloat("hours", *hours)
 
 	start := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
 	els := dataset.Satellites(dataset.SatelliteOptions{N: *sats, Seed: *seed, Epoch: start})

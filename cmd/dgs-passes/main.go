@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dgs/internal/astro"
+	"dgs/internal/cliutil"
 	"dgs/internal/dataset"
 	"dgs/internal/frames"
 	"dgs/internal/linkbudget"
@@ -35,6 +36,10 @@ func main() {
 	from := flag.String("from", "", "start time RFC3339 (default: TLE epoch)")
 	rates := flag.Bool("rates", false, "estimate DVB-S2 rate for a 1 m DGS dish at culmination")
 	flag.Parse()
+	cliutil.Range("lat", *lat, -90, 90)
+	cliutil.Range("lon", *lon, -180, 180)
+	cliutil.PositiveFloat("hours", *hours)
+	cliutil.Range("min-el", *minEl, 0, 90)
 
 	var text string
 	switch {

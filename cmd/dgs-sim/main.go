@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dgs"
+	"dgs/internal/cliutil"
 	"dgs/internal/sim"
 )
 
@@ -57,6 +58,15 @@ func main() {
 	eventsPath := flag.String("events", "", "stream simulation events to this file as JSONL")
 	quiet := flag.Bool("q", false, "suppress per-day progress")
 	flag.Parse()
+	cliutil.PositiveInt("days", *days)
+	cliutil.PositiveInt("sats", *sats)
+	cliutil.PositiveInt("stations", *stations)
+	cliutil.Fraction("forecast-err", *forecastErr)
+	cliutil.Fraction("tx-fraction", *txFraction)
+	cliutil.NonNegativeInt("beams", *beams)
+	cliutil.PositiveFloat("gen-gb", *genGB)
+	cliutil.NonNegativeDuration("step", *step)
+	cliutil.NonNegativeInt("workers", *workers)
 
 	var sys dgs.System
 	switch *system {

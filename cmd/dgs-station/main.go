@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dgs/internal/backend"
+	"dgs/internal/cliutil"
 	"dgs/internal/proto"
 )
 
@@ -31,6 +32,7 @@ func main() {
 	tx := flag.Bool("tx", false, "transmit-capable (fetches ack digests)")
 	heartbeat := flag.Duration("heartbeat", 0, "keepalive interval (default 15s)")
 	flag.Parse()
+	cliutil.NonNegativeDuration("heartbeat", *heartbeat)
 
 	if *name == "" {
 		*name = "dgs-" + itoa(uint32(*id))

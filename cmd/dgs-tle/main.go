@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"dgs/internal/cliutil"
 	"dgs/internal/dataset"
 	"dgs/internal/sgp4"
 	"dgs/internal/tle"
@@ -25,6 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for -gen")
 	builtin := flag.Bool("builtin", false, "print the embedded fixture TLEs")
 	flag.Parse()
+	cliutil.NonNegativeInt("gen", *gen)
 
 	switch {
 	case *inspect != "":

@@ -1,0 +1,87 @@
+// Package cliutil holds the flag-validation helpers shared by every
+// cmd/ binary. A bad flag value (negative worker count, zero slot
+// length, out-of-range fraction) exits with status 2 and the usage
+// message — the conventional "bad invocation" exit — instead of letting
+// the value panic deep inside the simulator or silently snap to a
+// default.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// exit and usage are swapped out by tests; production use always goes
+// through os.Exit(2) after printing flag usage.
+var (
+	exit  = os.Exit
+	usage = func() { flag.Usage() }
+)
+
+// Failf reports an invalid invocation: the message goes to stderr,
+// followed by the flag usage text, and the process exits with status 2.
+func Failf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", os.Args[0], fmt.Sprintf(format, args...))
+	usage()
+	exit(2)
+}
+
+// PositiveInt requires v > 0 for flag name.
+func PositiveInt(name string, v int) {
+	if v <= 0 {
+		Failf("invalid -%s: must be > 0 (got %d)", name, v)
+	}
+}
+
+// NonNegativeInt requires v >= 0 for flag name (zero typically selects a
+// documented default such as GOMAXPROCS workers).
+func NonNegativeInt(name string, v int) {
+	if v < 0 {
+		Failf("invalid -%s: must be >= 0 (got %d)", name, v)
+	}
+}
+
+// PositiveDuration requires v > 0 for flag name.
+func PositiveDuration(name string, v time.Duration) {
+	if v <= 0 {
+		Failf("invalid -%s: must be > 0 (got %v)", name, v)
+	}
+}
+
+// NonNegativeDuration requires v >= 0 for flag name (zero typically
+// selects a documented default).
+func NonNegativeDuration(name string, v time.Duration) {
+	if v < 0 {
+		Failf("invalid -%s: must be >= 0 (got %v)", name, v)
+	}
+}
+
+// PositiveFloat requires v > 0 for flag name.
+func PositiveFloat(name string, v float64) {
+	if v <= 0 {
+		Failf("invalid -%s: must be > 0 (got %g)", name, v)
+	}
+}
+
+// NonNegativeFloat requires v >= 0 for flag name.
+func NonNegativeFloat(name string, v float64) {
+	if v < 0 {
+		Failf("invalid -%s: must be >= 0 (got %g)", name, v)
+	}
+}
+
+// Fraction requires v in [0, 1] for flag name.
+func Fraction(name string, v float64) {
+	if v < 0 || v > 1 {
+		Failf("invalid -%s: must be in [0, 1] (got %g)", name, v)
+	}
+}
+
+// Range requires v in [lo, hi] for flag name.
+func Range(name string, v, lo, hi float64) {
+	if v < lo || v > hi {
+		Failf("invalid -%s: must be in [%g, %g] (got %g)", name, v, lo, hi)
+	}
+}

@@ -1,0 +1,35 @@
+package serve
+
+// admission is the compute-path concurrency gate: a semaphore sized off
+// the worker pool. A request that cannot take a slot immediately is turned
+// away with 429 + Retry-After rather than queued — under overload the
+// server sheds load at the door instead of collapsing into an unbounded
+// backlog of goroutines all fighting for the same workers.
+type admission struct {
+	sem chan struct{}
+}
+
+func newAdmission(n int) *admission {
+	if n < 1 {
+		n = 1
+	}
+	return &admission{sem: make(chan struct{}, n)}
+}
+
+// tryAcquire takes a slot if one is free, without blocking.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *admission) release() { <-a.sem }
+
+// inUse returns the number of held slots (diagnostics).
+func (a *admission) inUse() int { return len(a.sem) }
+
+// limit returns the slot count.
+func (a *admission) limit() int { return cap(a.sem) }

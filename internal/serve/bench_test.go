@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The benchmark world is larger than the test world so the cold compute
+// path has realistic weight against the cache lookup.
+var (
+	benchOnce sync.Once
+	benchSnap *Snapshot
+)
+
+func benchSnapshot(b *testing.B) *Snapshot {
+	b.Helper()
+	benchOnce.Do(func() {
+		s, err := NewSnapshot(SnapshotConfig{
+			Satellites: 64,
+			Stations:   48,
+			Seed:       1,
+			MaxSpan:    12 * time.Hour,
+		})
+		if err != nil {
+			panic(err)
+		}
+		benchSnap = s
+	})
+	return benchSnap
+}
+
+func benchServe(b *testing.B, h http.Handler, url string) {
+	b.Helper()
+	// Prime outside the timed region: fills the cache for the warm case
+	// and the position grid for both.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s: status %d body %s", url, rec.Code, rec.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServePasses compares the cache-warm pass path against the
+// cache-bypassed compute path; the acceptance bar is warm ≥ 5x bypass
+// throughput.
+func BenchmarkServePasses(b *testing.B) {
+	s := New(benchSnapshot(b), Config{})
+	h := s.Handler()
+	b.Run("warm", func(b *testing.B) {
+		benchServe(b, h, "/v1/passes?hours=3")
+	})
+	b.Run("bypass", func(b *testing.B) {
+		benchServe(b, h, "/v1/passes?hours=3&nocache=1")
+	})
+}
+
+func BenchmarkServePlan(b *testing.B) {
+	s := New(benchSnapshot(b), Config{})
+	h := s.Handler()
+	b.Run("warm", func(b *testing.B) {
+		benchServe(b, h, "/v1/plan?hours=1")
+	})
+	b.Run("bypass", func(b *testing.B) {
+		benchServe(b, h, "/v1/plan?hours=1&nocache=1")
+	})
+}
+
+func BenchmarkServeLinkBudget(b *testing.B) {
+	s := New(benchSnapshot(b), Config{})
+	benchServe(b, s.Handler(), "/v1/linkbudget?sat=0&station=0&t=2020-06-01T01:00:00Z")
+}

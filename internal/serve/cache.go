@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded LRU over rendered response bodies. Values are the
+// exact bytes written to the wire, so a hit is a copy-free write and a
+// cached response is byte-identical to the computation that produced it.
+type lruCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	b   []byte
+}
+
+// newLRU builds a cache holding at most max entries; max <= 0 disables
+// caching entirely (every get misses, every add is dropped).
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key, promoting it to most recent.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).b, true
+}
+
+// add stores a body, evicting the least recently used entry when full.
+// The caller must not mutate b afterwards.
+func (c *lruCache) add(key string, b []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).b = b
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, b: b})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,29 @@
+// Package serve is the ground-station-as-a-service query layer: a
+// long-running HTTP JSON API over the repo's pass predictor, link-budget
+// chain, and planning scheduler. It loads a world — dataset population,
+// element sets, weather, station network — into an immutable read-optimized
+// Snapshot and answers, at scale:
+//
+//	GET /v1/passes?sat=&station=&from=&hours=   contact windows
+//	GET /v1/linkbudget?sat=&station=&t=&lead=   SNR / MODCOD / rate / attenuation
+//	GET /v1/plan?from=&hours=&slot=             a PlanEpoch schedule
+//	GET /v1/healthz                             liveness + world shape
+//	GET /debug/vars                             per-endpoint counters + latency
+//
+// The layer is built for load, not just correctness. The request path for
+// cacheable queries is:
+//
+//	response LRU → admission semaphore → in-flight dedup → compute
+//
+// A hit costs a map lookup and a write. A miss must take an admission slot
+// (sized off the worker pool) or is refused with 429 + Retry-After —
+// overload sheds at the door instead of queueing without bound. Admitted
+// identical queries collapse onto one computation (hand-rolled
+// singleflight). Every layer preserves byte identity: a cached or
+// deduplicated response is exactly the bytes a cold computation produces,
+// which the concurrency tests enforce under -race.
+//
+// Query instants are quantized to the snapshot's slot grid, so distinct
+// clients asking about the same minute share cache entries, position-cache
+// instants, and in-flight computations.
+package serve

@@ -1,0 +1,544 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"dgs/internal/pool"
+)
+
+// Config tunes the serving layer. The zero value selects the defaults.
+type Config struct {
+	// MaxInFlight bounds concurrent compute-path requests (the admission
+	// semaphore). Default 2× the worker-pool default (GOMAXPROCS): enough
+	// to keep the pool busy while one request fans out, without stacking
+	// an unbounded compute backlog. Cache hits are not gated.
+	MaxInFlight int
+	// CacheEntries bounds the response LRU (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * pool.DefaultWorkers()
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	return c
+}
+
+// Server serves pass-prediction, link-budget, and planning queries over a
+// world Snapshot. The hot path is: response cache → admission gate →
+// in-flight deduplication → compute. Every layer preserves byte identity
+// with the cold computation.
+type Server struct {
+	snap  *Snapshot
+	cfg   Config
+	cache *lruCache
+	fl    flightGroup
+	adm   *admission
+	start time.Time
+
+	passesStats endpointStats
+	planStats   endpointStats
+	linkStats   endpointStats
+
+	vars *expvar.Map
+
+	// computeHook, when set by tests, runs inside the flight leader before
+	// the computation — the hook deterministic concurrency tests use to
+	// hold a compute slot open.
+	computeHook func(key string)
+}
+
+// New builds a Server over a loaded snapshot.
+func New(snap *Snapshot, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		snap:  snap,
+		cfg:   cfg,
+		cache: newLRU(cfg.CacheEntries),
+		adm:   newAdmission(cfg.MaxInFlight),
+		start: time.Now(),
+	}
+	s.vars = new(expvar.Map).Init()
+	s.vars.Set("passes", s.passesStats.vars())
+	s.vars.Set("plan", s.planStats.vars())
+	s.vars.Set("linkbudget", s.linkStats.vars())
+	s.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.len() }))
+	s.vars.Set("inflight", expvar.Func(func() any { return s.adm.inUse() }))
+	s.vars.Set("inflight_limit", expvar.Func(func() any { return s.adm.limit() }))
+	s.vars.Set("uptime_s", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
+	return s
+}
+
+// Stats snapshots one endpoint's counters ("passes", "plan", "linkbudget").
+func (s *Server) Stats(endpoint string) EndpointStats {
+	switch endpoint {
+	case "passes":
+		return s.passesStats.snapshot()
+	case "plan":
+		return s.planStats.snapshot()
+	case "linkbudget":
+		return s.linkStats.snapshot()
+	}
+	return EndpointStats{}
+}
+
+// Handler returns the server's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/passes", s.handlePasses)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/linkbudget", s.handleLinkBudget)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// ---- request plumbing ----
+
+// httpError carries a client-visible failure out of parameter parsing.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(append(b, '\n'))
+}
+
+func writeBody(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// marshalBody renders a response value to its canonical wire bytes. Only
+// ever called with marshal-safe values, so an error is a server bug.
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// serveComputed runs the cache → admission → dedup → compute chain for a
+// canonical query key. nocache bypasses the LRU (both read and fill) but
+// keeps deduplication: a cache-busting client must not amplify compute.
+func (s *Server) serveComputed(w http.ResponseWriter, st *endpointStats, key string, nocache bool, compute func() ([]byte, error)) {
+	if !nocache {
+		if b, ok := s.cache.get(key); ok {
+			st.hits.Add(1)
+			writeBody(w, b)
+			return
+		}
+	}
+	st.misses.Add(1)
+	if !s.adm.tryAcquire() {
+		st.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded: admission limit reached, retry later")
+		return
+	}
+	defer s.adm.release()
+	b, err, shared := s.fl.do(key, func() ([]byte, error) {
+		if s.computeHook != nil {
+			s.computeHook(key)
+		}
+		return compute()
+	})
+	if shared {
+		st.dedups.Add(1)
+	}
+	if err != nil {
+		st.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !nocache && !shared {
+		s.cache.add(key, b)
+	}
+	writeBody(w, b)
+}
+
+// parseTime reads an RFC3339 time parameter, defaulting when absent.
+func parseTime(r *http.Request, name string, def time.Time) (time.Time, *httpError) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, badRequest("bad %s: %v (want RFC3339)", name, err)
+	}
+	return t, nil
+}
+
+// parseInt reads an integer parameter, defaulting when absent.
+func parseInt(r *http.Request, name string, def int) (int, *httpError) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badRequest("bad %s: %v", name, err)
+	}
+	return n, nil
+}
+
+// parseFloat reads a float parameter, defaulting when absent.
+func parseFloat(r *http.Request, name string, def float64) (float64, *httpError) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, badRequest("bad %s: %v", name, err)
+	}
+	return f, nil
+}
+
+// parseDuration reads a Go duration parameter, defaulting when absent.
+func parseDuration(r *http.Request, name string, def time.Duration) (time.Duration, *httpError) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, badRequest("bad %s: %v (want Go duration, e.g. 90m)", name, err)
+	}
+	return d, nil
+}
+
+// checkSpan validates a [from, to) query range against the snapshot's
+// servable horizon.
+func (s *Server) checkSpan(from, to time.Time) *httpError {
+	if !to.After(from) {
+		return badRequest("empty range: to %s is not after from %s", to.Format(time.RFC3339), from.Format(time.RFC3339))
+	}
+	if !s.snap.InSpan(from) || !s.snap.InSpan(to) {
+		c := s.snap.Config()
+		return badRequest("range [%s, %s) outside servable span [%s, %s]",
+			from.Format(time.RFC3339), to.Format(time.RFC3339),
+			c.Epoch.Format(time.RFC3339), c.Epoch.Add(c.MaxSpan).Format(time.RFC3339))
+	}
+	return nil
+}
+
+func methodGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return false
+	}
+	return true
+}
+
+// ---- /v1/passes ----
+
+// passWindow is the wire form of one predicted contact window.
+type passWindow struct {
+	Sat     int       `json:"sat"`
+	Station int       `json:"station"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+	Rise    time.Time `json:"rise"`
+	// Set is omitted for a contact still in progress at the end of the
+	// scanned range.
+	Set       *time.Time `json:"set,omitempty"`
+	MaxDurSec float64    `json:"max_duration_s"`
+}
+
+type passesResponse struct {
+	From    time.Time    `json:"from"`
+	To      time.Time    `json:"to"`
+	Sat     int          `json:"sat"`
+	Station int          `json:"station"`
+	Count   int          `json:"count"`
+	Windows []passWindow `json:"windows"`
+}
+
+func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
+	if !methodGet(w, r) {
+		return
+	}
+	st := &s.passesStats
+	t0 := time.Now()
+	defer func() { st.observe(time.Since(t0)) }()
+
+	sat, herr := parseInt(r, "sat", -1)
+	if herr == nil && (sat < -1 || sat >= s.snap.Sats()) {
+		herr = badRequest("sat %d out of range [0, %d) (-1 or absent = all)", sat, s.snap.Sats())
+	}
+	var gs int
+	if herr == nil {
+		gs, herr = parseInt(r, "station", -1)
+		if herr == nil && (gs < -1 || gs >= s.snap.Stations()) {
+			herr = badRequest("station %d out of range [0, %d) (-1 or absent = all)", gs, s.snap.Stations())
+		}
+	}
+	var from time.Time
+	if herr == nil {
+		from, herr = parseTime(r, "from", s.snap.Config().Epoch)
+	}
+	var hours float64
+	if herr == nil {
+		hours, herr = parseFloat(r, "hours", 3)
+		if herr == nil && (hours <= 0 || hours > s.snap.Config().MaxSpan.Hours()) {
+			herr = badRequest("hours %g out of range (0, %g]", hours, s.snap.Config().MaxSpan.Hours())
+		}
+	}
+	if herr != nil {
+		writeError(w, herr.code, herr.msg)
+		return
+	}
+	from = s.snap.Quantize(from)
+	to := from.Add(time.Duration(hours * float64(time.Hour)))
+	if herr := s.checkSpan(from, to); herr != nil {
+		writeError(w, herr.code, herr.msg)
+		return
+	}
+
+	key := fmt.Sprintf("passes|%d|%d|%d|%d", sat, gs, from.UnixNano(), to.UnixNano())
+	nocache := r.URL.Query().Get("nocache") != ""
+	s.serveComputed(w, st, key, nocache, func() ([]byte, error) {
+		ws := s.snap.Passes(from, to, sat, gs)
+		resp := passesResponse{
+			From: from, To: to, Sat: sat, Station: gs,
+			Count: len(ws), Windows: make([]passWindow, 0, len(ws)),
+		}
+		for _, pw := range ws {
+			out := passWindow{
+				Sat: pw.Sat, Station: pw.Station,
+				Start: pw.Start, End: pw.End, Rise: pw.Rise,
+				MaxDurSec: pw.End.Sub(pw.Start).Seconds(),
+			}
+			if !pw.Set.IsZero() {
+				set := pw.Set
+				out.Set = &set
+			}
+			resp.Windows = append(resp.Windows, out)
+		}
+		return marshalBody(resp)
+	})
+}
+
+// ---- /v1/plan ----
+
+type planAssignment struct {
+	Sat     int     `json:"sat"`
+	Station int     `json:"station"`
+	RateBps float64 `json:"rate_bps"`
+	Weight  float64 `json:"weight"`
+}
+
+type planSlot struct {
+	Start       time.Time        `json:"start"`
+	Assignments []planAssignment `json:"assignments"`
+}
+
+type planResponse struct {
+	Issued      time.Time  `json:"issued"`
+	SlotSec     float64    `json:"slot_s"`
+	TotalSlots  int        `json:"total_slots"`
+	Assignments int        `json:"assignments"`
+	Slots       []planSlot `json:"slots"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !methodGet(w, r) {
+		return
+	}
+	st := &s.planStats
+	t0 := time.Now()
+	defer func() { st.observe(time.Since(t0)) }()
+
+	from, herr := parseTime(r, "from", s.snap.Config().Epoch)
+	var hours float64
+	if herr == nil {
+		hours, herr = parseFloat(r, "hours", 1)
+		if herr == nil && (hours <= 0 || hours > s.snap.Config().MaxSpan.Hours()) {
+			herr = badRequest("hours %g out of range (0, %g]", hours, s.snap.Config().MaxSpan.Hours())
+		}
+	}
+	var slot time.Duration
+	if herr == nil {
+		slot, herr = parseDuration(r, "slot", s.snap.Config().Slot)
+		if herr == nil && (slot < time.Second || slot > time.Hour) {
+			herr = badRequest("slot %v out of range [1s, 1h]", slot)
+		}
+	}
+	if herr != nil {
+		writeError(w, herr.code, herr.msg)
+		return
+	}
+	from = s.snap.Quantize(from)
+	horizon := time.Duration(hours * float64(time.Hour))
+	if herr := s.checkSpan(from, from.Add(horizon)); herr != nil {
+		writeError(w, herr.code, herr.msg)
+		return
+	}
+
+	key := fmt.Sprintf("plan|%d|%d|%d", from.UnixNano(), horizon, slot)
+	nocache := r.URL.Query().Get("nocache") != ""
+	s.serveComputed(w, st, key, nocache, func() ([]byte, error) {
+		plan := s.snap.Plan(from, horizon, slot)
+		resp := planResponse{
+			Issued:     plan.Issued,
+			SlotSec:    plan.SlotDur.Seconds(),
+			TotalSlots: len(plan.Slots),
+			Slots:      make([]planSlot, 0, len(plan.Slots)),
+		}
+		for _, sl := range plan.Slots {
+			if len(sl.Assignments) == 0 {
+				continue
+			}
+			out := planSlot{Start: sl.Start, Assignments: make([]planAssignment, 0, len(sl.Assignments))}
+			for _, a := range sl.Assignments {
+				out.Assignments = append(out.Assignments, planAssignment{
+					Sat: a.Sat, Station: a.Station, RateBps: a.PlannedRateBps, Weight: a.Weight,
+				})
+				resp.Assignments++
+			}
+			resp.Slots = append(resp.Slots, out)
+		}
+		return marshalBody(resp)
+	})
+}
+
+// ---- /v1/linkbudget ----
+
+func (s *Server) handleLinkBudget(w http.ResponseWriter, r *http.Request) {
+	if !methodGet(w, r) {
+		return
+	}
+	st := &s.linkStats
+	t0 := time.Now()
+	defer func() { st.observe(time.Since(t0)) }()
+
+	sat, herr := parseInt(r, "sat", -1)
+	if herr == nil && (sat < 0 || sat >= s.snap.Sats()) {
+		herr = badRequest("sat required in [0, %d)", s.snap.Sats())
+	}
+	var gs int
+	if herr == nil {
+		gs, herr = parseInt(r, "station", -1)
+		if herr == nil && (gs < 0 || gs >= s.snap.Stations()) {
+			herr = badRequest("station required in [0, %d)", s.snap.Stations())
+		}
+	}
+	var at time.Time
+	if herr == nil {
+		at, herr = parseTime(r, "t", s.snap.Config().Epoch)
+	}
+	var lead time.Duration
+	if herr == nil {
+		lead, herr = parseDuration(r, "lead", 0)
+		if herr == nil && lead < 0 {
+			herr = badRequest("lead must be >= 0")
+		}
+	}
+	if herr != nil {
+		writeError(w, herr.code, herr.msg)
+		return
+	}
+	at = s.snap.Quantize(at)
+	if !s.snap.InSpan(at) {
+		c := s.snap.Config()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("t %s outside servable span [%s, %s]",
+			at.Format(time.RFC3339), c.Epoch.Format(time.RFC3339), c.Epoch.Add(c.MaxSpan).Format(time.RFC3339)))
+		return
+	}
+
+	// Link budgets are a single cheap evaluation: gated by admission for
+	// honest overload behavior, but not worth a cache entry.
+	st.misses.Add(1)
+	if !s.adm.tryAcquire() {
+		st.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded: admission limit reached, retry later")
+		return
+	}
+	lb := s.snap.LinkBudgetAt(sat, gs, at, lead)
+	s.adm.release()
+	b, err := marshalBody(lb)
+	if err != nil {
+		st.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, b)
+}
+
+// ---- /v1/healthz and /debug/vars ----
+
+type healthResponse struct {
+	OK       bool      `json:"ok"`
+	Sats     int       `json:"sats"`
+	Stations int       `json:"stations"`
+	Epoch    time.Time `json:"epoch"`
+	SlotSec  float64   `json:"slot_s"`
+	MaxSpanH float64   `json:"max_span_h"`
+	UptimeS  float64   `json:"uptime_s"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !methodGet(w, r) {
+		return
+	}
+	c := s.snap.Config()
+	b, err := marshalBody(healthResponse{
+		OK:       true,
+		Sats:     s.snap.Sats(),
+		Stations: s.snap.Stations(),
+		Epoch:    c.Epoch,
+		SlotSec:  c.Slot.Seconds(),
+		MaxSpanH: c.MaxSpan.Hours(),
+		UptimeS:  time.Since(s.start).Seconds(),
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, b)
+}
+
+// handleVars serves the server's expvar map. The map is private to the
+// Server (not expvar.Publish'd): multiple servers can coexist in one
+// process (tests, benchmarks) without colliding in the global registry.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	if !methodGet(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"dgs_api\": %s}\n", s.vars.String())
+}

@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"dgs/internal/core"
+	"dgs/internal/dataset"
+	"dgs/internal/dvbs2"
+	"dgs/internal/frames"
+	"dgs/internal/itu"
+	"dgs/internal/linkbudget"
+	"dgs/internal/orbit"
+	"dgs/internal/passes"
+	"dgs/internal/poscache"
+	"dgs/internal/sgp4"
+	"dgs/internal/station"
+	"dgs/internal/tle"
+	"dgs/internal/weather"
+)
+
+// gbBits is one gigabyte in bits (the unit capture volume is quoted in).
+const gbBits = 8e9
+
+// SnapshotConfig describes the world a Snapshot loads: the synthetic
+// population, weather, and the time grid queries are quantized to. The
+// zero value selects the paper's population at the canonical epoch.
+type SnapshotConfig struct {
+	// Satellites and Stations size the synthetic population
+	// (defaults 259 / 173, the paper's evaluation scale).
+	Satellites, Stations int
+	// Seed drives population synthesis and weather, with the same
+	// derivation as the simulator (population seeds Seed+1/Seed+2,
+	// weather seed Seed+7), so a served world matches a simulated one.
+	Seed int64
+	// TxFraction is the share of transmit-capable stations (default 0.1).
+	TxFraction float64
+	// ClearSky disables weather; ForecastErr is the saturated forecast
+	// error fraction (default 0.3).
+	ClearSky    bool
+	ForecastErr float64
+	// GenGBPerDay is the per-satellite capture volume assumed when
+	// synthesizing plan-query queue state (default 100 GB/day).
+	GenGBPerDay float64
+	// Slot is the time quantum: query instants are floored to this grid,
+	// the pass predictor strides it, and it is the default plan slot
+	// (default 1 min). Quantization makes equivalent queries cache-share.
+	Slot time.Duration
+	// Epoch anchors the grid; queries must fall in [Epoch, Epoch+MaxSpan].
+	// Defaults to the canonical simulation start (2020-06-01).
+	Epoch time.Time
+	// MaxSpan bounds how far queries may reach past Epoch (default 48 h).
+	// The position cache is keyed by grid instant and never pruned, so
+	// MaxSpan/Slot bounds its size.
+	MaxSpan time.Duration
+	// Workers bounds the propagation/planning worker pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c SnapshotConfig) withDefaults() SnapshotConfig {
+	if c.Satellites == 0 {
+		c.Satellites = 259
+	}
+	if c.Stations == 0 {
+		c.Stations = 173
+	}
+	if c.TxFraction == 0 {
+		c.TxFraction = 0.1
+	}
+	if c.ForecastErr == 0 {
+		c.ForecastErr = 0.3
+	}
+	if c.GenGBPerDay == 0 {
+		c.GenGBPerDay = 100
+	}
+	if c.Slot <= 0 {
+		c.Slot = time.Minute
+	}
+	if c.Epoch.IsZero() {
+		c.Epoch = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.MaxSpan <= 0 {
+		c.MaxSpan = 48 * time.Hour
+	}
+	return c
+}
+
+// Snapshot is an immutable, read-optimized world the API serves from: the
+// population, a shared per-instant position cache, the forecast view, and
+// a serialized planning scheduler. All query methods are safe for
+// concurrent use and deterministic — the same query always produces the
+// same result, which is what lets the serving layer cache and deduplicate
+// responses byte-for-byte.
+type Snapshot struct {
+	cfg   SnapshotConfig
+	tles  []tle.TLE
+	net   station.Network
+	props []orbit.Propagator
+	// positions is the shared grid-instant position cache: pass scans and
+	// link-budget lookups for the same quantized instant propagate once.
+	positions *poscache.Cache
+	fc        *weather.Forecast
+	radio     linkbudget.Radio
+	topo      []frames.Topocentric
+	genRate   float64 // capture rate, bits/s
+
+	// planSnaps is the fixed queue state plan queries run against; each
+	// query builds its own scheduler (see Plan).
+	planSnaps []core.SatSnapshot
+}
+
+// NewSnapshot synthesizes and loads the world a SnapshotConfig describes.
+func NewSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
+	cfg = cfg.withDefaults()
+	tles := dataset.Satellites(dataset.SatelliteOptions{N: cfg.Satellites, Seed: cfg.Seed + 1, Epoch: cfg.Epoch})
+	net := dataset.Stations(dataset.StationOptions{N: cfg.Stations, Seed: cfg.Seed + 2, TxFraction: cfg.TxFraction})
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+
+	s := &Snapshot{
+		cfg:     cfg,
+		tles:    tles,
+		net:     net,
+		radio:   linkbudget.DefaultRadio(),
+		genRate: cfg.GenGBPerDay * gbBits / 86400,
+	}
+	s.props = make([]orbit.Propagator, len(tles))
+	for i, el := range tles {
+		p, err := sgp4.New(el)
+		if err != nil {
+			return nil, fmt.Errorf("serve: satellite %d: %w", i, err)
+		}
+		s.props[i] = p
+	}
+	s.positions = poscache.New(s.props)
+	s.positions.Workers = cfg.Workers
+
+	if !cfg.ClearSky {
+		field := weather.NewField(uint64(cfg.Seed) + 7)
+		s.fc = weather.NewForecast(field, cfg.ForecastErr)
+	}
+
+	s.topo = make([]frames.Topocentric, len(net))
+	for j, gs := range net {
+		s.topo[j] = frames.NewTopocentric(gs.Location)
+	}
+
+	// Plan queries run against a fixed, deterministic queue state: every
+	// satellite one hour behind on capture. The point of the endpoint is
+	// the contact/allocation structure, not live telemetry.
+	s.planSnaps = make([]core.SatSnapshot, len(s.props))
+	for i := range s.planSnaps {
+		s.planSnaps[i] = core.SatSnapshot{
+			Prop:        s.props[i],
+			PendingBits: s.genRate * 3600,
+			OldestAge:   time.Hour,
+		}
+	}
+	return s, nil
+}
+
+// Config returns the resolved configuration.
+func (s *Snapshot) Config() SnapshotConfig { return s.cfg }
+
+// Sats and Stations return the population sizes.
+func (s *Snapshot) Sats() int { return len(s.props) }
+
+// Stations returns the ground-network size.
+func (s *Snapshot) Stations() int { return len(s.net) }
+
+// Quantize floors t onto the snapshot's slot grid.
+func (s *Snapshot) Quantize(t time.Time) time.Time {
+	if t.Before(s.cfg.Epoch) {
+		return t
+	}
+	return s.cfg.Epoch.Add(t.Sub(s.cfg.Epoch) / s.cfg.Slot * s.cfg.Slot)
+}
+
+// InSpan reports whether t falls inside the servable horizon
+// [Epoch, Epoch+MaxSpan].
+func (s *Snapshot) InSpan(t time.Time) bool {
+	return !t.Before(s.cfg.Epoch) && !t.After(s.cfg.Epoch.Add(s.cfg.MaxSpan))
+}
+
+// Passes predicts the contact windows overlapping [from, to), optionally
+// filtered to one satellite and/or one station (-1 = all). from must be
+// grid-aligned (use Quantize). Each call runs a fresh coarse-to-fine
+// predictor over the shared position cache, so concurrent queries never
+// contend on predictor state and identical queries produce identical
+// windows.
+func (s *Snapshot) Passes(from, to time.Time, sat, gs int) passes.Windows {
+	pred := passes.New(s.positions, s.net, passes.Config{
+		CoarseStep: s.cfg.Slot,
+		Tol:        time.Second,
+	})
+	ws := pred.WindowsBetween(nil, from, to)
+	if sat < 0 && gs < 0 {
+		return ws
+	}
+	kept := ws[:0]
+	for _, w := range ws {
+		if sat >= 0 && w.Sat != sat {
+			continue
+		}
+		if gs >= 0 && w.Station != gs {
+			continue
+		}
+		kept = append(kept, w)
+	}
+	return kept
+}
+
+// LinkBudget is the full SNR/rate/attenuation breakdown for one
+// satellite–station pair at one instant.
+type LinkBudget struct {
+	Sat     int       `json:"sat"`
+	Station int       `json:"station"`
+	T       time.Time `json:"t"`
+	// Visible is true when the satellite is above the station's elevation
+	// mask; the fields below are only present for visible geometry.
+	Visible      bool    `json:"visible"`
+	RangeKm      float64 `json:"range_km,omitempty"`
+	ElevationDeg float64 `json:"elevation_deg,omitempty"`
+	AzimuthDeg   float64 `json:"azimuth_deg,omitempty"`
+	RainMmH      float64 `json:"rain_mmh"`
+	CloudKgM2    float64 `json:"cloud_kgm2"`
+	AttenDB      float64 `json:"atten_db,omitempty"`
+	EsN0DB       float64 `json:"esn0_db,omitempty"`
+	ModCod       string  `json:"modcod,omitempty"`
+	RateBps      float64 `json:"rate_bps"`
+}
+
+// LinkBudgetAt evaluates the link budget for (sat, gs) at grid instant t
+// under forecast weather at the given lead (lead 0 is a nowcast).
+func (s *Snapshot) LinkBudgetAt(sat, gs int, t time.Time, lead time.Duration) LinkBudget {
+	lb := LinkBudget{Sat: sat, Station: gs, T: t}
+	st := s.net[gs]
+	var cond linkbudget.Conditions
+	if s.fc != nil {
+		w := s.fc.AtLead(st.Location.LatRad, st.Location.LonRad, t, lead)
+		cond = linkbudget.Conditions{RainMmH: w.RainMmH, CloudKgM2: w.CloudKgM2}
+	}
+	lb.RainMmH, lb.CloudKgM2 = cond.RainMmH, cond.CloudKgM2
+
+	e := s.positions.At(t)[sat]
+	if !e.OK {
+		return lb
+	}
+	look := s.topo[gs].Look(e.Pos)
+	if look.ElevationRad <= st.MinElevationRad {
+		return lb
+	}
+	lb.Visible = true
+	lb.RangeKm = look.RangeKm
+	lb.ElevationDeg = look.ElevationDeg()
+	lb.AzimuthDeg = look.AzimuthDeg()
+
+	geo := linkbudget.Geometry{
+		RangeKm:         look.RangeKm,
+		ElevationRad:    look.ElevationRad,
+		StationLatRad:   st.Location.LatRad,
+		StationHeightKm: st.Location.AltKm,
+	}
+	path := itu.SlantPath{
+		ElevationRad:    geo.ElevationRad,
+		StationHeightKm: geo.StationHeightKm,
+		LatitudeRad:     geo.StationLatRad,
+	}
+	term := st.EffectiveTerminal()
+	lb.AttenDB = itu.TotalAttenuation(path, s.radio.FreqGHz, cond.RainMmH, cond.CloudKgM2, s.radio.Polarization)
+	lb.EsN0DB = linkbudget.EsN0dB(s.radio, term, geo, cond)
+	lb.RateBps = linkbudget.RateBps(s.radio, term, geo, cond)
+	if mc, ok := dvbs2.Select(lb.EsN0DB, term.ImplMarginDB); ok {
+		lb.ModCod = mc.String()
+	}
+	return lb
+}
+
+// Plan produces a downlink schedule over [from, from+horizon) at slot
+// granularity against the snapshot's synthetic queue state.
+//
+// Every call runs a fresh scheduler. The simulator reuses one scheduler
+// because its epochs only move forward, and the scheduler's persistent
+// pass predictor and caches assume that monotonicity — API queries arrive
+// at arbitrary anchors, where reused incremental state would make the
+// answer depend on query order. A fresh scheduler makes the plan a pure
+// function of the query (version always 1), which is what lets responses
+// be cached and deduplicated byte-for-byte; it gets no shared Positions
+// cache because PlanEpoch prunes instants before its start, which must
+// not evict the never-pruned grid cache pass queries share.
+func (s *Snapshot) Plan(from time.Time, horizon, slot time.Duration) *core.Plan {
+	sched := &core.Scheduler{
+		Radio:    s.radio,
+		Stations: s.net,
+		Forecast: s.fc,
+		Workers:  s.cfg.Workers,
+	}
+	return sched.PlanEpoch(s.planSnaps, from, horizon, slot, s.genRate)
+}

@@ -1,0 +1,182 @@
+// Command loadgen drives a running dgs-api with a concurrent closed-loop
+// query mix and reports latency percentiles and throughput. It discovers
+// the served world through /v1/healthz, synthesizes a seeded deterministic
+// query pool over that population, and runs -c workers each issuing its
+// next request as soon as the previous one completes.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8041 -c 32 -d 10s
+//
+// Exit status is 1 if any request failed at transport level or returned a
+// 5xx; 429s are counted (they are the server shedding load as designed),
+// not failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"dgs/internal/cliutil"
+	"dgs/internal/metrics"
+)
+
+type health struct {
+	Sats     int       `json:"sats"`
+	Stations int       `json:"stations"`
+	Epoch    time.Time `json:"epoch"`
+	SlotSec  float64   `json:"slot_s"`
+	MaxSpanH float64   `json:"max_span_h"`
+}
+
+// query is one templated request and the endpoint class it's tallied under.
+type query struct {
+	class int // index into classNames
+	path  string
+}
+
+var classNames = [...]string{"passes", "plan", "linkbudget"}
+
+// buildPool synthesizes the deterministic query mix: pass scans over
+// varied anchors and filters, plans at a few granularities, and point
+// link budgets. Roughly 60/10/30 passes/plan/linkbudget — plans are the
+// expensive minority, link budgets the cheap majority, mirroring how a
+// scheduling frontend would use the API.
+func buildPool(h health, seed int64) []query {
+	rng := rand.New(rand.NewSource(seed))
+	spanH := h.MaxSpanH
+	anchor := func(maxH float64) string {
+		off := time.Duration(rng.Float64() * maxH * float64(time.Hour))
+		return h.Epoch.Add(off).Format(time.RFC3339)
+	}
+	var pool []query
+	for i := 0; i < 24; i++ {
+		hours := 1 + rng.Intn(3)
+		p := fmt.Sprintf("/v1/passes?hours=%d&from=%s", hours, anchor(spanH-float64(hours)))
+		switch rng.Intn(3) {
+		case 0:
+			p += fmt.Sprintf("&sat=%d", rng.Intn(h.Sats))
+		case 1:
+			p += fmt.Sprintf("&station=%d", rng.Intn(h.Stations))
+		}
+		pool = append(pool, query{0, p})
+	}
+	for i := 0; i < 4; i++ {
+		pool = append(pool, query{1, fmt.Sprintf("/v1/plan?hours=1&from=%s", anchor(spanH-1))})
+	}
+	for i := 0; i < 12; i++ {
+		pool = append(pool, query{2, fmt.Sprintf("/v1/linkbudget?sat=%d&station=%d&t=%s",
+			rng.Intn(h.Sats), rng.Intn(h.Stations), anchor(spanH))})
+	}
+	return pool
+}
+
+// tally is the shared result collector; workers hold the lock only long
+// enough to record one sample.
+type tally struct {
+	mu       sync.Mutex
+	lat      [len(classNames)]metrics.Dist // milliseconds
+	status   map[int]int
+	failures int
+	total    int
+}
+
+func (t *tally) record(class, code int, d time.Duration, failed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	t.status[code]++
+	if failed {
+		t.failures++
+		return
+	}
+	if code == http.StatusOK {
+		t.lat[class].Add(float64(d) / float64(time.Millisecond))
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8041", "dgs-api address")
+	conc := flag.Int("c", 16, "concurrent closed-loop clients")
+	dur := flag.Duration("d", 5*time.Second, "run duration")
+	seed := flag.Int64("seed", 1, "query-mix seed")
+	flag.Parse()
+	cliutil.PositiveInt("c", *conc)
+	cliutil.PositiveDuration("d", *dur)
+
+	base := "http://" + *addr
+	client := &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: *conc},
+	}
+
+	resp, err := client.Get(base + "/v1/healthz")
+	if err != nil {
+		log.Fatalf("loadgen: %s unreachable: %v", base, err)
+	}
+	var h health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatalf("loadgen: bad healthz: %v", err)
+	}
+	pool := buildPool(h, *seed)
+	log.Printf("loadgen: %d sats / %d stations, %d query templates, %d clients for %v",
+		h.Sats, h.Stations, len(pool), *conc, *dur)
+
+	t := &tally{status: make(map[int]int)}
+	deadline := time.Now().Add(*dur)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed*1_000_003 + int64(w)))
+			for time.Now().Before(deadline) {
+				q := pool[rng.Intn(len(pool))]
+				t0 := time.Now()
+				resp, err := client.Get(base + q.path)
+				if err != nil {
+					t.record(q.class, 0, 0, true)
+					continue
+				}
+				_, rerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				failed := rerr != nil || resp.StatusCode >= 500 || resp.StatusCode == http.StatusBadRequest
+				t.record(q.class, resp.StatusCode, time.Since(t0), failed)
+			}
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("\n%d requests in %v (%.0f req/s)\n", t.total, elapsed.Round(time.Millisecond), float64(t.total)/elapsed.Seconds())
+	for code, n := range t.status {
+		if code == 0 {
+			fmt.Printf("  transport errors: %d\n", n)
+			continue
+		}
+		fmt.Printf("  HTTP %d: %d\n", code, n)
+	}
+	for i, name := range classNames {
+		d := &t.lat[i]
+		if d.N() == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s n=%-6d p50=%.2fms p99=%.2fms max=%.2fms\n",
+			name, d.N(), d.Median(), d.Percentile(99), d.Max())
+	}
+	if t.failures > 0 {
+		fmt.Printf("FAIL: %d failed requests\n", t.failures)
+		os.Exit(1)
+	}
+}
