@@ -26,6 +26,6 @@ serve:
 # "baseline" snapshot (the serial pre-pipeline numbers) next to "current"
 # so future PRs can compare.
 bench:
-	go test -run '^$$' -bench 'BenchmarkFig3aBacklog|BenchmarkFig2StationMap' -benchmem . \
+	go test -run '^$$' -bench 'BenchmarkFig3aBacklog|BenchmarkFig2StationMap|BenchmarkMegaScale' -benchmem -timeout 30m . \
 		| tee /dev/stderr \
 		| go run ./tools/benchjson -o BENCH_sim.json

@@ -62,6 +62,17 @@ wait "$api_pid" || { echo "dgs-api did not shut down cleanly:" >&2; cat "$smoked
 grep -q "clean shutdown" "$smokedir/api.log"
 
 
+echo "== mega smoke (Walker population, spatial index differential)"
+# A small Walker shell through the pass predictor with the spatial
+# candidate index on and off: the printed windows must be byte-identical
+# (the index is a conservative filter, never a behavior change). The
+# mega-scale versions of this differential run in the test suite above.
+go build -o "$smokedir/dgs-passes" ./cmd/dgs-passes
+"$smokedir/dgs-passes" -walker -sats 200 -stations 40 -hours 0.5 -top 1000000 | tail -n +3 > "$smokedir/idx.txt"
+"$smokedir/dgs-passes" -walker -sats 200 -stations 40 -hours 0.5 -top 1000000 -full-scan | tail -n +3 > "$smokedir/full.txt"
+[ -s "$smokedir/idx.txt" ] || { echo "mega smoke predicted no windows" >&2; exit 1; }
+cmp "$smokedir/idx.txt" "$smokedir/full.txt"
+
 echo "== bench trajectory (advisory, recorded BENCH_sim.json)"
 # Warns when the recorded current Fig3aBacklog/DGS wall-clock regressed
 # more than 10% past the recorded baseline; refresh the file with `make

@@ -6,6 +6,15 @@
 //
 //	dgs-passes -tle iss.txt -lat 47.37 -lon 8.54 -hours 24
 //	dgs-passes -builtin iss -lat 78.2 -lon 15.4 -hours 12 -min-el 5
+//
+// With -sats it switches to population mode: instead of one satellite over
+// one station, it predicts every contact window of a synthetic population
+// (the paper's EO mix, or a Walker-delta shell with -walker) against a
+// synthetic station network, using the same coarse-to-fine predictor and
+// spatial candidate index the scheduler runs on:
+//
+//	dgs-passes -sats 259 -stations 173 -hours 12
+//	dgs-passes -walker -sats 2000 -stations 500 -hours 1 -top 10
 package main
 
 import (
@@ -21,6 +30,8 @@ import (
 	"dgs/internal/frames"
 	"dgs/internal/linkbudget"
 	"dgs/internal/orbit"
+	"dgs/internal/passes"
+	"dgs/internal/poscache"
 	"dgs/internal/sgp4"
 	"dgs/internal/tle"
 )
@@ -35,11 +46,25 @@ func main() {
 	minEl := flag.Float64("min-el", 0, "elevation mask, degrees")
 	from := flag.String("from", "", "start time RFC3339 (default: TLE epoch)")
 	rates := flag.Bool("rates", false, "estimate DVB-S2 rate for a 1 m DGS dish at culmination")
+	sats := flag.Int("sats", 0, "population mode: predict windows for this many synthetic satellites")
+	stations := flag.Int("stations", 173, "population mode: synthetic station network size")
+	walker := flag.Bool("walker", false, "population mode: Walker-delta shell (53°, 550 km) instead of the paper's EO mix")
+	fullScan := flag.Bool("full-scan", false, "population mode: disable the spatial candidate index (differential check)")
+	seed := flag.Int64("seed", 1, "population mode: synthesis seed")
+	top := flag.Int("top", 20, "population mode: windows to print (0 = summary only)")
 	flag.Parse()
 	cliutil.Range("lat", *lat, -90, 90)
 	cliutil.Range("lon", *lon, -180, 180)
 	cliutil.PositiveFloat("hours", *hours)
 	cliutil.Range("min-el", *minEl, 0, 90)
+	cliutil.NonNegativeInt("sats", *sats)
+	cliutil.PositiveInt("stations", *stations)
+	cliutil.NonNegativeInt("top", *top)
+
+	if *sats > 0 {
+		populationMain(*sats, *stations, *walker, *fullScan, *seed, *hours, *from, *top)
+		return
+	}
 
 	var text string
 	switch {
@@ -119,6 +144,70 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+}
+
+// populationMain predicts every contact window of a synthetic population
+// against a synthetic DGS network — the scheduler's pass-prediction hot
+// path as a standalone tool. It reports the candidate-index pruning stats
+// alongside the windows so the spatial index's effect is visible from the
+// command line.
+func populationMain(nSat, nGs int, walker, fullScan bool, seed int64, hours float64, from string, top int) {
+	start := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	if from != "" {
+		var err error
+		if start, err = time.Parse(time.RFC3339, from); err != nil {
+			fatal(err)
+		}
+	}
+	var tles []tle.TLE
+	kind := "EO mix"
+	if walker {
+		tles = dataset.Walker(dataset.WalkerOptions{T: nSat, Epoch: start})
+		kind = "Walker shell"
+	} else {
+		tles = dataset.Satellites(dataset.SatelliteOptions{N: nSat, Seed: seed + 1, Epoch: start})
+	}
+	net := dataset.Stations(dataset.StationOptions{N: nGs, Seed: seed + 2})
+
+	props := make([]orbit.Propagator, 0, len(tles))
+	for _, el := range tles {
+		p, err := sgp4.New(el)
+		if err != nil {
+			fatal(err)
+		}
+		props = append(props, p)
+	}
+	horizon := time.Duration(hours * float64(time.Hour))
+	pred := passes.New(poscache.New(props), net, passes.Config{FullScan: fullScan})
+
+	t0 := time.Now()
+	ws := pred.WindowsBetween(nil, start, start.Add(horizon))
+	elapsed := time.Since(t0)
+
+	mode := "spatial index"
+	if fullScan {
+		mode = "full scan"
+	}
+	fmt.Printf("%d-satellite %s × %d stations, %v from %s (%s)\n",
+		nSat, kind, nGs, horizon.Round(time.Minute), start.Format(time.RFC3339), mode)
+	st := pred.Stats()
+	fmt.Printf("%d windows in %v; evaluated %d of %d pairs (%.2f%%) over %d instants\n\n",
+		len(ws), elapsed.Round(time.Millisecond),
+		st.CandidatePairs, st.CrossPairs,
+		100*float64(st.CandidatePairs)/float64(st.CrossPairs), st.Instants)
+	for i, w := range ws {
+		if i >= top {
+			fmt.Printf("... %d more\n", len(ws)-top)
+			break
+		}
+		set := "(in progress)"
+		if !w.Set.IsZero() {
+			set = w.Set.Format("15:04:05")
+		}
+		fmt.Printf("sat %5d  gs %4d  rise %s  set %s  dur %5.1f min\n",
+			w.Sat, w.Station, w.Rise.Format("15:04:05"), set,
+			w.End.Sub(w.Start).Minutes())
 	}
 }
 

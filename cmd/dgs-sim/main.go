@@ -7,6 +7,7 @@
 //	dgs-sim -system dgs -days 2 -sats 259 -stations 173
 //	dgs-sim -system baseline -days 1 -clear-sky
 //	dgs-sim -system dgs25 -value throughput -matcher optimal
+//	dgs-sim -days 1 -walker -sats 2000 -stations 500
 //
 // Long runs can be interrupted and resumed without losing work: with
 // -checkpoint, ctrl-C saves the engine state at the next slot boundary,
@@ -42,6 +43,7 @@ func main() {
 	system := flag.String("system", "dgs", "system to simulate: baseline, dgs, dgs25")
 	days := flag.Int("days", 1, "simulated days")
 	sats := flag.Int("sats", 259, "constellation size")
+	walker := flag.Bool("walker", false, "use a Walker-delta shell of -sats satellites (53°, 550 km) instead of the paper's EO mix")
 	stations := flag.Int("stations", 173, "DGS network size")
 	seed := flag.Int64("seed", 1, "population and weather seed")
 	value := flag.String("value", "latency", "value function: latency, throughput")
@@ -84,6 +86,7 @@ func main() {
 	opt := dgs.Options{
 		Days:        *days,
 		Satellites:  *sats,
+		Walker:      *walker,
 		Stations:    *stations,
 		Seed:        *seed,
 		Value:       dgs.ValueName(*value),

@@ -89,6 +89,10 @@ type Options struct {
 	Days int
 	// Satellites and Stations resize the populations (defaults 259/173).
 	Satellites, Stations int
+	// Walker replaces the paper's EO satellite mix with a deterministic
+	// Walker-delta shell of Satellites members (53°, 550 km) — the
+	// mega-constellation harness population.
+	Walker bool
 	// Seed drives population synthesis and weather.
 	Seed int64
 	// Value picks Φ (default ValueLatency).
@@ -159,7 +163,12 @@ var Start = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
 // describes.
 func Population(opt Options) ([]tle.TLE, station.Network) {
 	opt = opt.withDefaults()
-	tles := dataset.Satellites(dataset.SatelliteOptions{N: opt.Satellites, Seed: opt.Seed + 1, Epoch: Start})
+	var tles []tle.TLE
+	if opt.Walker {
+		tles = dataset.Walker(dataset.WalkerOptions{T: opt.Satellites, Epoch: Start})
+	} else {
+		tles = dataset.Satellites(dataset.SatelliteOptions{N: opt.Satellites, Seed: opt.Seed + 1, Epoch: Start})
+	}
 	net := dataset.Stations(dataset.StationOptions{
 		N: opt.Stations, Seed: opt.Seed + 2, TxFraction: opt.TxFraction,
 	})

@@ -9,7 +9,6 @@ import (
 	"sync"
 	"time"
 
-	"dgs/internal/astro"
 	"dgs/internal/frames"
 	"dgs/internal/linkbudget"
 	"dgs/internal/match"
@@ -17,6 +16,7 @@ import (
 	"dgs/internal/passes"
 	"dgs/internal/pool"
 	"dgs/internal/poscache"
+	"dgs/internal/spatial"
 	"dgs/internal/station"
 	"dgs/internal/weather"
 )
@@ -71,6 +71,12 @@ type Scheduler struct {
 	// lifetime on both paths (the cell index, station geometry, and pass
 	// windows are cached).
 	UseSweep bool
+	// FullScan disables the spatial candidate index inside the pass-window
+	// predictor: every stride instant evaluates the full sat × station
+	// cross product. Plans are bit-identical either way (the index is
+	// conservative); the knob exists for differential tests and for
+	// measuring what the index saves.
+	FullScan bool
 
 	nextVersion int
 
@@ -92,13 +98,12 @@ type Scheduler struct {
 	// mu guards the lazily initialized shared state below; Visibility
 	// must be callable from PlanEpoch's worker goroutines.
 	mu sync.Mutex
-	// cellIdx buckets stations into 10°×10° geodetic cells so visibility
-	// only examines stations near each satellite's ground track. A fixed
-	// 18×36 array: direct indexing beats hashing a [2]int key in the
-	// innermost visibility loop.
-	cellIdx *[18][36][]int
+	// grid is the spatial candidate index over station locations, so
+	// visibility only examines stations near each satellite's ground
+	// track (the same index the pass predictor builds).
+	grid *spatial.Grid
 	// stGeo is the per-station fixed geometry (SEZ basis, effective
-	// terminal, elevation mask) precomputed alongside cellIdx so the
+	// terminal, elevation mask) precomputed alongside grid so the
 	// visibility inner loop never redoes the geodetic→ECEF conversion or
 	// the beamforming power split per candidate edge.
 	stGeo []stationGeom
@@ -128,13 +133,6 @@ func (s *Scheduler) PlanVersion() int { return s.nextVersion }
 // monotonic across a resume; any other use risks duplicate versions.
 func (s *Scheduler) SetPlanVersion(v int) { s.nextVersion = v }
 
-// cell returns the 10°×10° bucket for a latitude/longitude in radians.
-func cell(latRad, lonRad float64) [2]int {
-	lat := astro.Clamp(latRad*astro.Rad2Deg, -89.999, 89.999)
-	lon := astro.NormalizePi(lonRad) * astro.Rad2Deg
-	return [2]int{int((lat + 90) / 10), int((lon + 180) / 10)}
-}
-
 // stationGeom is the fixed per-station geometry the visibility inner loop
 // needs: everything here derives from the station location only, so it is
 // computed once and shared read-only across the worker pool. Mutable
@@ -146,25 +144,24 @@ type stationGeom struct {
 	altKm  float64
 }
 
-func (s *Scheduler) stationIndex() (*[18][36][]int, []stationGeom) {
+func (s *Scheduler) stationIndex() (*spatial.Grid, []stationGeom) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cellIdx == nil {
-		var idx [18][36][]int
+	if s.grid == nil {
+		grid := spatial.NewGrid()
 		geo := make([]stationGeom, len(s.Stations))
 		for j, gs := range s.Stations {
-			c := cell(gs.Location.LatRad, gs.Location.LonRad)
-			idx[c[0]][c[1]] = append(idx[c[0]][c[1]], j)
+			grid.Add(int32(j), gs.Location.LatRad, gs.Location.LonRad)
 			geo[j] = stationGeom{
 				topo:   frames.NewTopocentric(gs.Location),
 				latRad: gs.Location.LatRad,
 				altKm:  gs.Location.AltKm,
 			}
 		}
-		s.cellIdx = &idx
+		s.grid = grid
 		s.stGeo = geo
 	}
-	return s.cellIdx, s.stGeo
+	return s.grid, s.stGeo
 }
 
 // rateMemo returns the attenuation memo for the scheduler's radio plus

@@ -1,13 +1,13 @@
 package core
 
 import (
-	"math"
 	"time"
 
 	"dgs/internal/astro"
 	"dgs/internal/frames"
 	"dgs/internal/linkbudget"
 	"dgs/internal/poscache"
+	"dgs/internal/spatial"
 	"dgs/internal/weather"
 )
 
@@ -19,13 +19,15 @@ type VisibleEdge struct {
 }
 
 // condScratch is the per-worker evaluation scratch: the per-station
-// blended weather conditions for one (instant, lead) evaluation, plus the
-// worker's private front cache over the shared attenuation memo. The
-// condition buffers are reset per slot; the memo view persists across
-// every slot (and epoch) the worker processes.
+// blended weather conditions for one (instant, lead) evaluation, the
+// candidate buffer the spatial index appends into, plus the worker's
+// private front cache over the shared attenuation memo. The condition
+// buffers are reset per slot; the candidate buffer and memo view persist
+// across every slot (and epoch) the worker processes.
 type condScratch struct {
 	cond  []linkbudget.Conditions
 	known []bool
+	cand  []int32
 	view  *linkbudget.MemoView
 }
 
@@ -156,42 +158,13 @@ func (s *Scheduler) visibilitySweep(dst []VisibleEdge, sats []SatSnapshot, posit
 			continue
 		}
 		ecef := cached[i].Pos
-		r := ecef.Norm()
-		if r <= astro.EarthRadiusKm {
+		sp := spatial.SubPointOf(ecef)
+		if !sp.Visible() {
 			continue
 		}
-		// Horizon central angle from altitude, with margin for the geoid
-		// and cell quantization.
-		psiDeg := math.Acos(astro.EarthRadiusKm/r)*astro.Rad2Deg + 4
-		subLatDeg := math.Asin(ecef.Z/r) * astro.Rad2Deg
-		subLonDeg := math.Atan2(ecef.Y, ecef.X) * astro.Rad2Deg
-
-		latLo := int((astro.Clamp(subLatDeg-psiDeg, -89.999, 89.999) + 90) / 10)
-		latHi := int((astro.Clamp(subLatDeg+psiDeg, -89.999, 89.999) + 90) / 10)
-		for latCell := latLo; latCell <= latHi; latCell++ {
-			// Longitude half-width grows with the band's highest latitude.
-			bandMaxAbs := math.Max(math.Abs(float64(latCell*10-90)), math.Abs(float64(latCell*10-80)))
-			halfW := 180.0
-			if bandMaxAbs < 85 {
-				halfW = psiDeg / math.Cos(bandMaxAbs*astro.Deg2Rad)
-				if halfW > 180 {
-					halfW = 180
-				}
-			}
-			lonCells := int(halfW/10) + 1
-			if lonCells > 18 {
-				lonCells = 18
-			}
-			center := int((astro.NormalizePi(subLonDeg*astro.Deg2Rad)*astro.Rad2Deg + 180) / 10)
-			for dl := -lonCells; dl <= lonCells; dl++ {
-				lonCell := ((center+dl)%36 + 36) % 36
-				if dl == lonCells && lonCells == 18 && dl != -lonCells {
-					break // full wrap: avoid visiting the seam cell twice
-				}
-				for _, j := range idx[latCell][lonCell] {
-					dst = ec.eval(dst, i, int(j), ecef)
-				}
-			}
+		cs.cand = idx.AppendNear(cs.cand[:0], sp, spatial.HorizonPsiDeg(sp.RKm))
+		for _, j := range cs.cand {
+			dst = ec.eval(dst, i, int(j), ecef)
 		}
 	}
 	return dst

@@ -36,11 +36,19 @@ func (s *Scheduler) predictPairs(positions *poscache.Cache, start time.Time, n i
 		// the slot grid the simulator propagates anyway). Wider brackets
 		// admit at most one extra candidate slot per window edge, which the
 		// exact per-slot evaluation rejects — plans are unchanged.
-		s.pred = passes.New(positions, s.Stations, passes.Config{
+		cfg := passes.Config{
 			CoarseStep: coarse,
 			Tol:        coarse,
 			MaxRangeKm: s.maxRange(),
-		})
+			FullScan:   s.FullScan,
+		}
+		// The slot grid must be a subset of the stride grid or the
+		// predictor could hide edges the sweep would see; coarseStepFor
+		// guarantees it, so a failure here is a scheduler bug, not input.
+		if err := cfg.Validate(slotDur); err != nil {
+			panic(err)
+		}
+		s.pred = passes.New(positions, s.Stations, cfg)
 		s.predPos, s.predStep = positions, coarse
 	}
 	s.pred.Prune(start)

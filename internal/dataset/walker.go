@@ -1,0 +1,107 @@
+// Walker-delta constellation generator: the synthetic population behind
+// the mega-scale harness. Starlink-class shells are Walker δ patterns
+// (i:T/P/F in Walker's notation) — T satellites in P equally spaced
+// planes at a common inclination and altitude, with an F-step phase
+// offset between adjacent planes. Unlike Satellites, the layout is fully
+// deterministic: no RNG, so two generators with equal options emit
+// byte-identical element sets.
+
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dgs/internal/astro"
+	"dgs/internal/tle"
+)
+
+// WalkerOptions configures a Walker-delta shell i:T/P/F.
+type WalkerOptions struct {
+	// T is the total satellite count; it must be a positive multiple of P.
+	T int
+	// P is the number of orbital planes. Zero selects the largest divisor
+	// of T not exceeding 32, so arbitrary CLI population sizes form a
+	// valid pattern without the caller doing divisor arithmetic.
+	P int
+	// F is the phasing factor in [0, P): adjacent planes offset their
+	// in-plane anomaly by F·360/T degrees.
+	F int
+	// InclinationDeg is the shared inclination; default 53 (the first
+	// Starlink shell).
+	InclinationDeg float64
+	// AltKm is the shared circular-orbit altitude; default 550.
+	AltKm float64
+	// Epoch is the element-set epoch; default 2020-06-01T00:00:00Z, the
+	// paper evaluation epoch.
+	Epoch time.Time
+}
+
+func (o WalkerOptions) withDefaults() WalkerOptions {
+	if o.T == 0 {
+		o.T = 1000
+	}
+	if o.P == 0 && o.T > 0 {
+		o.P = 1
+		for d := 2; d <= 32 && d <= o.T; d++ {
+			if o.T%d == 0 {
+				o.P = d
+			}
+		}
+	}
+	if o.InclinationDeg == 0 {
+		o.InclinationDeg = 53
+	}
+	if o.AltKm == 0 {
+		o.AltKm = 550
+	}
+	if o.Epoch.IsZero() {
+		o.Epoch = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return o
+}
+
+// Walker synthesizes the element sets of a Walker-delta shell. It panics
+// on an invalid pattern (T not a positive multiple of P, or F outside
+// [0, P)): the options are compile-time constants in every harness, so a
+// bad pattern is a programming error, not an input error.
+func Walker(opt WalkerOptions) []tle.TLE {
+	opt = opt.withDefaults()
+	if opt.T <= 0 || opt.P <= 0 || opt.T%opt.P != 0 {
+		panic(fmt.Sprintf("dataset: Walker T=%d is not a positive multiple of P=%d", opt.T, opt.P))
+	}
+	if opt.F < 0 || opt.F >= opt.P {
+		panic(fmt.Sprintf("dataset: Walker F=%d outside [0, %d)", opt.F, opt.P))
+	}
+
+	s := opt.T / opt.P // satellites per plane
+	a := astro.WGS72().RadiusKm + opt.AltKm
+	meanMotion := 86400.0 / (astro.TwoPi * math.Sqrt(a*a*a/astro.WGS72().MuKm3S2))
+
+	out := make([]tle.TLE, 0, opt.T)
+	for p := 0; p < opt.P; p++ {
+		raan := 360.0 * float64(p) / float64(opt.P)
+		for k := 0; k < s; k++ {
+			i := p*s + k
+			ma := 360.0*float64(k)/float64(s) + 360.0*float64(opt.F*p)/float64(opt.T)
+			out = append(out, tle.TLE{
+				Name:           fmt.Sprintf("WALKER-%05d", i),
+				NoradID:        (80000 + i) % 100000,
+				Classification: 'U',
+				IntlDesignator: fmt.Sprintf("20%03dW", i%1000),
+				Epoch:          opt.Epoch,
+				BStar:          1e-5,
+				ElementSetNo:   1,
+				InclinationDeg: opt.InclinationDeg,
+				RAANDeg:        raan,
+				Eccentricity:   0.0001,
+				ArgPerigeeDeg:  0,
+				MeanAnomalyDeg: math.Mod(ma, 360),
+				MeanMotion:     meanMotion,
+				RevNumber:      1,
+			})
+		}
+	}
+	return out
+}

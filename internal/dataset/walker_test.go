@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dgs/internal/sgp4"
+)
+
+func TestWalkerPattern(t *testing.T) {
+	epoch := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	els := Walker(WalkerOptions{T: 60, P: 6, F: 1, Epoch: epoch})
+	if len(els) != 60 {
+		t.Fatalf("got %d element sets, want 60", len(els))
+	}
+	raans := map[float64]int{}
+	for _, el := range els {
+		if err := el.Validate(); err != nil {
+			t.Fatalf("%s: %v", el.Name, err)
+		}
+		if el.InclinationDeg != 53 || !el.Epoch.Equal(epoch) {
+			t.Fatalf("%s: inclination %v epoch %v", el.Name, el.InclinationDeg, el.Epoch)
+		}
+		raans[el.RAANDeg]++
+	}
+	if len(raans) != 6 {
+		t.Fatalf("got %d distinct planes, want 6", len(raans))
+	}
+	for raan, n := range raans {
+		if n != 10 {
+			t.Fatalf("plane at RAAN %v has %d sats, want 10", raan, n)
+		}
+	}
+	// In-plane spacing is 360/S; adjacent planes carry the F·360/T offset.
+	if d := els[1].MeanAnomalyDeg - els[0].MeanAnomalyDeg; math.Abs(d-36) > 1e-9 {
+		t.Fatalf("in-plane spacing %v, want 36", d)
+	}
+	if d := els[10].MeanAnomalyDeg - els[0].MeanAnomalyDeg; math.Abs(d-6) > 1e-9 {
+		t.Fatalf("inter-plane phase %v, want 6", d)
+	}
+}
+
+func TestWalkerDeterministicAndPropagable(t *testing.T) {
+	a := Walker(WalkerOptions{T: 100})
+	b := Walker(WalkerOptions{T: 100})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sat %d differs between identical generations", i)
+		}
+	}
+	for _, el := range a[:10] {
+		if _, err := sgp4.New(el); err != nil {
+			t.Fatalf("%s: %v", el.Name, err)
+		}
+	}
+}
+
+func TestWalkerAutoPlanes(t *testing.T) {
+	for _, tc := range []struct{ T, wantPlanes int }{
+		{10000, 25}, // largest divisor of 10000 in [1, 32]
+		{960, 32},
+		{7, 7},
+		{13, 13}, // prime: every sat its own plane
+	} {
+		els := Walker(WalkerOptions{T: tc.T})
+		raans := map[float64]bool{}
+		for _, el := range els {
+			raans[el.RAANDeg] = true
+		}
+		if len(raans) != tc.wantPlanes {
+			t.Fatalf("T=%d: %d planes, want %d", tc.T, len(raans), tc.wantPlanes)
+		}
+	}
+}
+
+func TestWalkerRejectsBadPattern(t *testing.T) {
+	for _, opt := range []WalkerOptions{
+		{T: 10, P: 3},
+		{T: -5},
+		{T: 10, P: 5, F: 5},
+		{T: 10, P: 5, F: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Walker(%+v) did not panic", opt)
+				}
+			}()
+			Walker(opt)
+		}()
+	}
+}

@@ -136,6 +136,30 @@ func TEMEToECEF(p Vec3, jd float64) Vec3 {
 	}
 }
 
+// EarthRotation is the TEME→ECEF rotation for one instant with the GMST
+// trigonometry hoisted out, so a batch of satellites advanced to the same
+// instant shares one sincos instead of recomputing it per position. Apply
+// is arithmetic-identical to TEMEToECEF at the same Julian date, keeping
+// the batch path bit-compatible with the per-satellite one.
+type EarthRotation struct {
+	sinG, cosG float64
+}
+
+// NewEarthRotation precomputes the Earth-rotation terms for a Julian date.
+func NewEarthRotation(jd float64) EarthRotation {
+	sinG, cosG := math.Sincos(astro.GMST(jd))
+	return EarthRotation{sinG: sinG, cosG: cosG}
+}
+
+// Apply rotates a TEME position into ECEF.
+func (r EarthRotation) Apply(p Vec3) Vec3 {
+	return Vec3{
+		X: r.cosG*p.X + r.sinG*p.Y,
+		Y: -r.sinG*p.X + r.cosG*p.Y,
+		Z: p.Z,
+	}
+}
+
 // ECEFToTEME is the inverse rotation of TEMEToECEF.
 func ECEFToTEME(p Vec3, jd float64) Vec3 {
 	g := astro.GMST(jd)

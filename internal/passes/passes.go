@@ -21,13 +21,14 @@
 package passes
 
 import (
-	"math"
+	"fmt"
 	"slices"
 	"time"
 
 	"dgs/internal/astro"
 	"dgs/internal/frames"
 	"dgs/internal/poscache"
+	"dgs/internal/spatial"
 	"dgs/internal/station"
 )
 
@@ -101,6 +102,35 @@ type Config struct {
 	// MaxRangeKm prunes pairs beyond plausible slant range before look
 	// angles, mirroring the scheduler's cut; default 3500 km.
 	MaxRangeKm float64
+	// FullScan disables the spatial candidate index: every stride instant
+	// evaluates the full satellite × station cross product. Results are
+	// bit-identical either way (the index is conservative); the flag
+	// exists so differential tests and benchmarks can compare the two
+	// paths.
+	FullScan bool
+}
+
+// Validate reports whether the configuration can drive the scheduler's
+// bit-identity contract for a planning slot of the given duration: the
+// slot grid must be a subset of the stride grid, and the tunables must
+// not be negative (zero selects the documented default).
+func (c Config) Validate(slotDur time.Duration) error {
+	if c.CoarseStep < 0 {
+		return fmt.Errorf("passes: CoarseStep %v is negative", c.CoarseStep)
+	}
+	if c.Tol < 0 {
+		return fmt.Errorf("passes: Tol %v is negative", c.Tol)
+	}
+	if c.MaxRangeKm < 0 {
+		return fmt.Errorf("passes: MaxRangeKm %v is negative", c.MaxRangeKm)
+	}
+	if slotDur <= 0 {
+		return fmt.Errorf("passes: slot duration %v is not positive", slotDur)
+	}
+	if slotDur%c.coarse() != 0 {
+		return fmt.Errorf("passes: CoarseStep %v does not divide the slot duration %v", c.coarse(), slotDur)
+	}
+	return nil
 }
 
 func (c Config) coarse() time.Duration {
@@ -129,6 +159,19 @@ type run struct {
 	start, rise time.Time
 }
 
+// Stats counts the coarse scan's work so tests and benchmarks can verify
+// the candidate index prunes the cross product.
+type Stats struct {
+	// Instants is the number of stride instants scanned.
+	Instants int64
+	// CandidatePairs is the number of (satellite, station) pairs the scan
+	// evaluated exactly (slant range + look angles).
+	CandidatePairs int64
+	// CrossPairs is the number of pairs a full cross-product scan would
+	// have evaluated over the same instants.
+	CrossPairs int64
+}
+
 // Predictor incrementally predicts contact windows for a satellite
 // population against a station network. It is not safe for concurrent use;
 // the scheduler drives it from the sequential part of PlanEpoch.
@@ -137,11 +180,13 @@ type Predictor struct {
 	stations  station.Network
 	cfg       Config
 
-	// cellIdx buckets stations into 10°×10° geodetic cells (same scheme as
-	// the scheduler's sweep) so each stride instant only examines stations
-	// near each ground track.
-	cellIdx [18][36][]int32
-	topo    []frames.Topocentric
+	// grid is the spatial candidate index over station locations; each
+	// stride instant only examines stations whose cell intersects a
+	// satellite's horizon disk (same index the scheduler's sweep uses).
+	grid *spatial.Grid
+	topo []frames.Topocentric
+	cand []int32 // reused AppendNear scratch
+	stat Stats
 
 	// Scan state: instants anchor + k·CoarseStep for k ≥ 0 are scanned in
 	// order; [covFrom, lastScanned] is the contiguous covered range.
@@ -159,12 +204,12 @@ func New(positions *poscache.Cache, stations station.Network, cfg Config) *Predi
 		positions: positions,
 		stations:  stations,
 		cfg:       cfg,
+		grid:      spatial.NewGrid(),
 		topo:      make([]frames.Topocentric, len(stations)),
 		runs:      make(map[int64]run),
 	}
 	for j, gs := range stations {
-		c := cellOf(gs.Location.LatRad, gs.Location.LonRad)
-		p.cellIdx[c[0]][c[1]] = append(p.cellIdx[c[0]][c[1]], int32(j))
+		p.grid.Add(int32(j), gs.Location.LatRad, gs.Location.LonRad)
 		p.topo[j] = frames.NewTopocentric(gs.Location)
 	}
 	return p
@@ -173,12 +218,8 @@ func New(positions *poscache.Cache, stations station.Network, cfg Config) *Predi
 // CoarseStep returns the effective stride of the coarse scan.
 func (p *Predictor) CoarseStep() time.Duration { return p.cfg.coarse() }
 
-// cellOf returns the 10°×10° bucket for a latitude/longitude in radians.
-func cellOf(latRad, lonRad float64) [2]int {
-	lat := astro.Clamp(latRad*astro.Rad2Deg, -89.999, 89.999)
-	lon := astro.NormalizePi(lonRad) * astro.Rad2Deg
-	return [2]int{int((lat + 90) / 10), int((lon + 180) / 10)}
-}
+// Stats returns the cumulative scan-work counters.
+func (p *Predictor) Stats() Stats { return p.stat }
 
 // WindowsBetween returns every window overlapping [from, to), extending
 // the coarse scan as needed, appended to dst (which may be nil). Contacts
@@ -269,47 +310,30 @@ func (p *Predictor) scan(t time.Time) {
 	maxRange := p.cfg.maxRange()
 	nGs := int64(len(p.stations))
 	cur := p.cur[:0]
+	p.stat.Instants++
+	p.stat.CrossPairs += int64(len(entries)) * nGs
 	for i, e := range entries {
 		if !e.OK {
 			continue
 		}
-		ecef := e.Pos
-		r := ecef.Norm()
-		if r <= astro.EarthRadiusKm {
+		sp := spatial.SubPointOf(e.Pos)
+		if !sp.Visible() {
 			continue
 		}
-		// Horizon central angle from altitude, with margin for the geoid
-		// and cell quantization (same bound as the scheduler's sweep).
-		psiDeg := math.Acos(astro.EarthRadiusKm/r)*astro.Rad2Deg + 4
-		subLatDeg := math.Asin(ecef.Z/r) * astro.Rad2Deg
-		subLonDeg := math.Atan2(ecef.Y, ecef.X) * astro.Rad2Deg
-
-		latLo := int((astro.Clamp(subLatDeg-psiDeg, -89.999, 89.999) + 90) / 10)
-		latHi := int((astro.Clamp(subLatDeg+psiDeg, -89.999, 89.999) + 90) / 10)
-		for latCell := latLo; latCell <= latHi; latCell++ {
-			bandMaxAbs := math.Max(math.Abs(float64(latCell*10-90)), math.Abs(float64(latCell*10-80)))
-			halfW := 180.0
-			if bandMaxAbs < 85 {
-				halfW = psiDeg / math.Cos(bandMaxAbs*astro.Deg2Rad)
-				if halfW > 180 {
-					halfW = 180
+		if p.cfg.FullScan {
+			p.stat.CandidatePairs += nGs
+			for j := range p.stations {
+				if p.aboveWith(e.Pos, j, maxRange) {
+					cur = append(cur, int64(i)*nGs+int64(j))
 				}
 			}
-			lonCells := int(halfW/10) + 1
-			if lonCells > 18 {
-				lonCells = 18
-			}
-			center := int((astro.NormalizePi(subLonDeg*astro.Deg2Rad)*astro.Rad2Deg + 180) / 10)
-			for dl := -lonCells; dl <= lonCells; dl++ {
-				lonCell := ((center+dl)%36 + 36) % 36
-				if dl == lonCells && lonCells == 18 && dl != -lonCells {
-					break // full wrap: avoid visiting the seam cell twice
-				}
-				for _, j := range p.cellIdx[latCell][lonCell] {
-					if p.aboveWith(ecef, int(j), maxRange) {
-						cur = append(cur, int64(i)*nGs+int64(j))
-					}
-				}
+			continue
+		}
+		p.cand = p.grid.AppendNear(p.cand[:0], sp, spatial.HorizonPsiDeg(sp.RKm))
+		p.stat.CandidatePairs += int64(len(p.cand))
+		for _, j := range p.cand {
+			if p.aboveWith(e.Pos, int(j), maxRange) {
+				cur = append(cur, int64(i)*nGs+int64(j))
 			}
 		}
 	}

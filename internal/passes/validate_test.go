@@ -1,0 +1,82 @@
+package passes
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConfigValidate pins Validate's acceptance set and its exact error
+// messages: the scheduler relies on "CoarseStep divides the slot duration"
+// for the predictor/sweep bit-identity contract, and the messages are part
+// of the CLI surface.
+func TestConfigValidate(t *testing.T) {
+	const slot = time.Minute
+	for _, tc := range []struct {
+		name    string
+		cfg     Config
+		slotDur time.Duration
+		wantErr string
+	}{
+		{name: "zero value defaults", cfg: Config{}, slotDur: slot},
+		{name: "explicit divisor", cfg: Config{CoarseStep: 30 * time.Second}, slotDur: slot},
+		{name: "stride equals slot", cfg: Config{CoarseStep: slot, Tol: slot}, slotDur: slot},
+		{
+			name:    "negative coarse step",
+			cfg:     Config{CoarseStep: -time.Second},
+			slotDur: slot,
+			wantErr: "passes: CoarseStep -1s is negative",
+		},
+		{
+			name:    "negative tolerance",
+			cfg:     Config{Tol: -time.Millisecond},
+			slotDur: slot,
+			wantErr: "passes: Tol -1ms is negative",
+		},
+		{
+			name:    "negative max range",
+			cfg:     Config{MaxRangeKm: -1},
+			slotDur: slot,
+			wantErr: "passes: MaxRangeKm -1 is negative",
+		},
+		{
+			name:    "zero slot duration",
+			cfg:     Config{},
+			slotDur: 0,
+			wantErr: "passes: slot duration 0s is not positive",
+		},
+		{
+			name:    "negative slot duration",
+			cfg:     Config{},
+			slotDur: -slot,
+			wantErr: "passes: slot duration -1m0s is not positive",
+		},
+		{
+			name:    "stride does not divide slot",
+			cfg:     Config{CoarseStep: 45 * time.Second},
+			slotDur: slot,
+			wantErr: "passes: CoarseStep 45s does not divide the slot duration 1m0s",
+		},
+		{
+			name:    "default stride vs odd slot",
+			cfg:     Config{},
+			slotDur: 90 * time.Second,
+			wantErr: "passes: CoarseStep 1m0s does not divide the slot duration 1m30s",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate(tc.slotDur)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate(%v) = %v, want nil", tc.slotDur, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate(%v) = nil, want %q", tc.slotDur, tc.wantErr)
+			}
+			if err.Error() != tc.wantErr {
+				t.Fatalf("Validate(%v) = %q, want %q", tc.slotDur, err.Error(), tc.wantErr)
+			}
+		})
+	}
+}

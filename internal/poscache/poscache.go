@@ -25,6 +25,7 @@ import (
 	"dgs/internal/frames"
 	"dgs/internal/orbit"
 	"dgs/internal/pool"
+	"dgs/internal/sgp4"
 )
 
 // Entry is one satellite's position at a cached instant.
@@ -41,8 +42,16 @@ type Entry struct {
 type Cache struct {
 	// Workers bounds the parallel fill; <= 0 means GOMAXPROCS.
 	Workers int
+	// NoBatch forces the scalar per-propagator fill even when the
+	// population supports the SoA batch path. Positions are bit-identical
+	// either way; the flag exists for differential tests and benchmarks.
+	NoBatch bool
 
 	props []orbit.Propagator
+	// batch is the SoA fast path over the population's SGP4 coefficients,
+	// non-nil only when every propagator is a plain *sgp4.Propagator
+	// sharing one gravity model.
+	batch *sgp4.Batch
 
 	mu    sync.RWMutex
 	slots map[int64][]Entry
@@ -51,8 +60,24 @@ type Cache struct {
 // New builds a cache over a satellite population. The propagator slice is
 // retained; callers must not mutate it afterwards.
 func New(props []orbit.Propagator) *Cache {
-	return &Cache{props: props, slots: make(map[int64][]Entry)}
+	c := &Cache{props: props, slots: make(map[int64][]Entry)}
+	sps := make([]*sgp4.Propagator, len(props))
+	for i, p := range props {
+		sp, ok := p.(*sgp4.Propagator)
+		if !ok {
+			return c
+		}
+		sps[i] = sp
+	}
+	if len(sps) > 0 {
+		c.batch = sgp4.NewBatch(sps)
+	}
+	return c
 }
+
+// Batched reports whether the cache fills instants through the SoA batch
+// path (every propagator is a plain SGP4 propagator and NoBatch is off).
+func (c *Cache) Batched() bool { return c.batch != nil && !c.NoBatch }
 
 // Len returns the population size.
 func (c *Cache) Len() int { return len(c.props) }
@@ -85,11 +110,31 @@ func (c *Cache) At(t time.Time) []Entry {
 }
 
 // compute propagates the whole population at t, fanning out over the
-// worker pool. Each worker writes only its own index, so the result is
-// identical for any worker count.
+// worker pool. Each worker writes only its own indices, so the result is
+// identical for any worker count, and the batch and scalar paths produce
+// bit-identical positions (sgp4.Batch replicates the scalar arithmetic).
 func (c *Cache) compute(t time.Time) []Entry {
 	jd := astro.JulianDate(t)
 	entries := make([]Entry, len(c.props))
+	if c.Batched() {
+		// SoA fast path: chunk the population so each worker advances a
+		// contiguous index range in one tight loop, sharing the hoisted
+		// per-instant Earth rotation.
+		const chunk = 256
+		rot := frames.NewEarthRotation(jd)
+		n := len(c.props)
+		pos := make([]frames.Vec3, n)
+		ok := make([]bool, n)
+		pool.ForEach(c.Workers, (n+chunk-1)/chunk, func(ci int) {
+			lo := ci * chunk
+			hi := min(lo+chunk, n)
+			c.batch.PositionsECEF(jd, rot, lo, hi, pos, ok)
+			for i := lo; i < hi; i++ {
+				entries[i] = Entry{Pos: pos[i], OK: ok[i]}
+			}
+		})
+		return entries
+	}
 	pool.ForEach(c.Workers, len(c.props), func(i int) {
 		st, err := c.props[i].PropagateTo(t)
 		if err != nil {

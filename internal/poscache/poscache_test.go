@@ -84,6 +84,83 @@ func TestPruneDropsPastInstants(t *testing.T) {
 	}
 }
 
+// TestPruneKeepsBoundaryInstant pins Prune's boundary semantics: an entry
+// cached exactly at the prune instant survives. The simulator relies on
+// this — engine.Step prunes at "now" and immediately reads At(now), which
+// must hit the cache, not recompute.
+func TestPruneKeepsBoundaryInstant(t *testing.T) {
+	c := testCache(t, 2)
+	at := epoch.Add(5 * time.Minute)
+	a := c.At(at)
+	c.Prune(at)
+	if c.Size() != 1 {
+		t.Fatalf("after prune at the cached instant size = %d, want 1", c.Size())
+	}
+	b := c.At(at)
+	if &a[0] != &b[0] {
+		t.Fatal("entry at exactly the prune instant was evicted")
+	}
+	// One nanosecond later everything strictly before is gone.
+	c.Prune(at.Add(time.Nanosecond))
+	if c.Size() != 0 {
+		t.Fatalf("after prune past the instant size = %d, want 0", c.Size())
+	}
+}
+
+func TestPruneEmptyCache(t *testing.T) {
+	c := testCache(t, 2)
+	c.Prune(epoch) // no entries: must not panic
+	if c.Size() != 0 {
+		t.Fatalf("size = %d, want 0", c.Size())
+	}
+}
+
+// TestBatchMatchesScalarBitIdentical is the cache-level differential for
+// the SoA fast path: the same population filled with and without the
+// batch produces bit-identical entries at every instant, for several
+// worker counts.
+func TestBatchMatchesScalarBitIdentical(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		batch := testCache(t, 37)
+		scalar := testCache(t, 37)
+		scalar.NoBatch = true
+		batch.Workers, scalar.Workers = workers, workers
+		if !batch.Batched() {
+			t.Fatal("SGP4 population did not select the batch path")
+		}
+		if scalar.Batched() {
+			t.Fatal("NoBatch did not disable the batch path")
+		}
+		for k := 0; k < 8; k++ {
+			at := epoch.Add(time.Duration(k) * 17 * time.Minute)
+			a, b := batch.At(at), scalar.At(at)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("workers=%d sat %d at %v: batch %+v, scalar %+v",
+						workers, i, at, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// fixedProp is a non-SGP4 propagator; a population containing one must
+// fall back to the scalar fill.
+type fixedProp struct{ st sgp4.State }
+
+func (f fixedProp) PropagateTo(time.Time) (sgp4.State, error) { return f.st, nil }
+
+func TestNonSGP4PopulationFallsBack(t *testing.T) {
+	props := []orbit.Propagator{fixedProp{st: sgp4.State{PositionKm: frames.Vec3{X: 7000}}}}
+	c := New(props)
+	if c.Batched() {
+		t.Fatal("non-SGP4 population selected the batch path")
+	}
+	if e := c.At(epoch); !e[0].OK {
+		t.Fatal("fallback path failed to fill the entry")
+	}
+}
+
 func TestConcurrentAtIsConsistent(t *testing.T) {
 	c := testCache(t, 6)
 	c.Workers = 4

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dgs/internal/dataset"
+)
+
+// TestMegaPathEquivalence is the end-to-end half of the mega-scale hot
+// path's bit-identity contract: a full simulation run through the spatial
+// candidate index and the batch SoA propagation must produce a
+// byte-identical Result to runs with either (or both) disabled. The
+// population is a Walker shell — the geometry the hot path exists for.
+func TestMegaPathEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end equivalence matrix skipped in -short; ci.sh runs the mega smoke instead")
+	}
+	base := smallCfg(8, 24)
+	base.TLEs = dataset.Walker(dataset.WalkerOptions{T: 60, Epoch: start})
+	base.Duration = 6 * time.Hour
+	base.ClearSky = false
+	base.WeatherSeed = 13
+	base.ForecastErr = 0.4
+
+	ref, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatalf("hot path: %v", err)
+	}
+
+	for _, tc := range []struct {
+		label             string
+		fullScan, noBatch bool
+	}{
+		{"full-scan", true, false},
+		{"scalar-propagation", false, true},
+		{"both-off", true, true},
+	} {
+		cfg := base
+		cfg.FullScanPasses = tc.fullScan
+		cfg.ScalarPropagation = tc.noBatch
+		cfg.Workers = 4
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		resultsIdentical(t, ref, res, fmt.Sprintf("hot path vs %s", tc.label))
+	}
+}

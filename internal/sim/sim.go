@@ -114,6 +114,15 @@ type Config struct {
 	// bit-identical either way (the equivalence test enforces it); the
 	// knob exists for that cross-check and for ablating the predictor.
 	SweepVisibility bool
+	// FullScanPasses disables the pass predictor's spatial candidate
+	// index, evaluating the full sat × station cross product at every
+	// stride instant. Results are bit-identical either way; the knob
+	// exists for the mega-scale differential tests and CI smoke.
+	FullScanPasses bool
+	// ScalarPropagation forces the position cache onto the per-propagator
+	// scalar fill instead of the batch SoA path. Results are bit-identical
+	// either way; differential knob like FullScanPasses.
+	ScalarPropagation bool
 	// Observers subscribe to simulation events (metrics mirrors, trace
 	// collection, the JSONL EventRecorder). Observers never change the
 	// Result; when the list is empty, event dispatch is skipped entirely

@@ -151,6 +151,7 @@ func newWorld(cfg Config) (*World, error) {
 	}
 	w.positions = poscache.New(props)
 	w.positions.Workers = cfg.Workers
+	w.positions.NoBatch = cfg.ScalarPropagation
 
 	w.sched = &core.Scheduler{
 		Radio:     cfg.Radio,
@@ -161,6 +162,7 @@ func newWorld(cfg Config) (*World, error) {
 		Workers:   cfg.Workers,
 		Positions: w.positions,
 		UseSweep:  cfg.SweepVisibility,
+		FullScan:  cfg.FullScanPasses,
 	}
 
 	w.received = make([]map[satellite.ChunkID]chunkRx, len(w.sats))

@@ -1,0 +1,81 @@
+package dgs
+
+import (
+	"testing"
+	"time"
+
+	"dgs/internal/core"
+	"dgs/internal/linkbudget"
+	"dgs/internal/orbit"
+	"dgs/internal/passes"
+	"dgs/internal/poscache"
+	"dgs/internal/sgp4"
+	"dgs/internal/sim"
+)
+
+// The mega-scale benches measure the constellation hot path far beyond the
+// paper's 259×173 population: a Walker-delta shell against a dense ground
+// network, where the sat × station cross product — not any single model —
+// dominates. They record the spatial candidate index and the batch SoA
+// propagation working together; flip passes.Config.FullScan or
+// poscache.Cache.NoBatch locally to measure either ablated.
+
+// megaProps builds Walker-shell propagators for n satellites.
+func megaProps(b *testing.B, n int) []orbit.Propagator {
+	b.Helper()
+	tles, _ := Population(Options{Walker: true, Satellites: n})
+	props := make([]orbit.Propagator, 0, len(tles))
+	for _, el := range tles {
+		p, err := sgp4.New(el)
+		if err != nil {
+			b.Fatal(err)
+		}
+		props = append(props, p)
+	}
+	return props
+}
+
+// BenchmarkMegaScalePasses measures contact-window prediction at
+// mega-constellation scale: 10,000 Walker satellites × 500 stations over a
+// 15-minute horizon. pct-candidates is the share of the sat × station
+// cross product the spatial index let through to exact evaluation (the
+// acceptance bar in internal/passes holds it under 10%).
+func BenchmarkMegaScalePasses(b *testing.B) {
+	props := megaProps(b, 10000)
+	_, net := Population(Options{Walker: true, Satellites: 10000, Stations: 500})
+	b.ResetTimer()
+	var nWin int
+	var st passes.Stats
+	for i := 0; i < b.N; i++ {
+		pred := passes.New(poscache.New(props), net, passes.Config{})
+		ws := pred.WindowsBetween(nil, Start, Start.Add(15*time.Minute))
+		nWin = len(ws)
+		st = pred.Stats()
+	}
+	b.ReportMetric(float64(nWin), "windows")
+	b.ReportMetric(100*float64(st.CandidatePairs)/float64(st.CrossPairs), "pct-candidates")
+}
+
+// BenchmarkMegaScalePlan measures one full scheduler planning epoch — pass
+// prediction, per-slot link evaluation, matching, and drain — for a 2,000
+// satellite Walker shell × 500 stations over a one-hour horizon.
+func BenchmarkMegaScalePlan(b *testing.B) {
+	props := megaProps(b, 2000)
+	_, net := Population(Options{Walker: true, Satellites: 2000, Stations: 500})
+	snaps := make([]core.SatSnapshot, len(props))
+	for i, p := range props {
+		snaps[i] = core.SatSnapshot{Prop: p, PendingBits: 40e9, OldestAge: time.Hour}
+	}
+	genRate := 100 * sim.GB / 86400.0
+	b.ResetTimer()
+	var assigned int
+	for i := 0; i < b.N; i++ {
+		s := &core.Scheduler{Radio: linkbudget.DefaultRadio(), Stations: net}
+		plan := s.PlanEpoch(snaps, Start, time.Hour, time.Minute, genRate)
+		assigned = 0
+		for sat := range snaps {
+			assigned += plan.AssignedSlotCount(sat)
+		}
+	}
+	b.ReportMetric(float64(assigned), "slots-assigned")
+}
