@@ -24,8 +24,9 @@ serve:
 # bench records the perf trajectory: wall-clock (ns/op) plus each figure
 # bench's headline metrics, written to BENCH_sim.json. The file keeps a
 # "baseline" snapshot (the serial pre-pipeline numbers) next to "current"
-# so future PRs can compare.
+# so future PRs can compare. Includes the 2-day 10k×500 mega sim, so a
+# full run takes tens of minutes.
 bench:
-	go test -run '^$$' -bench 'BenchmarkFig3aBacklog|BenchmarkFig2StationMap|BenchmarkMegaScale' -benchmem -timeout 30m . \
+	go test -run '^$$' -bench 'BenchmarkFig3aBacklog|BenchmarkFig2StationMap|BenchmarkMegaScale|BenchmarkMegaSim' -benchmem -timeout 60m . \
 		| tee /dev/stderr \
 		| go run ./tools/benchjson -o BENCH_sim.json

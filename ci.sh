@@ -32,7 +32,9 @@ echo "== go test -race (parallel pipeline + session + serving layers)"
 # The backend/proto/faultnet trio includes the seeded chunk-dedup chaos
 # equivalence test — reconnect, resume, and replay-dedup all race-checked.
 # serve hosts the HTTP query layer's 40-client mixed-workload storm.
-go test -race ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget \
+# passes and poscache host the sharded sweep, lockstep refinement, and
+# multi-instant cache fill behind the parallel pass-prediction pipeline.
+go test -race ./internal/passes ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget \
     ./internal/backend ./internal/proto ./internal/faultnet ./internal/serve
 
 echo "== serve smoke (dgs-api + loadgen)"
@@ -75,7 +77,9 @@ cmp "$smokedir/idx.txt" "$smokedir/full.txt"
 
 echo "== bench trajectory (advisory, recorded BENCH_sim.json)"
 # Warns when the recorded current Fig3aBacklog/DGS wall-clock regressed
-# more than 10% past the recorded baseline; refresh the file with `make
-# bench` after perf-relevant changes.
+# more than 10% past the recorded baseline, and likewise for the
+# mega-scale benches (pass prediction, planning epoch, 2-day sim);
+# refresh the file with `make bench` after perf-relevant changes.
 go run ./tools/benchjson -diff -o BENCH_sim.json -bench 'BenchmarkFig3aBacklog/DGS$' -metric ns/op -tol 10 || true
+go run ./tools/benchjson -diff -o BENCH_sim.json -bench 'BenchmarkMega(ScalePasses|ScalePlan|Sim2Day)$' -metric ns/op -tol 10 || true
 echo "CI OK"

@@ -43,6 +43,7 @@ func main() {
 	cache := flag.Int("cache", 4096, "response cache entries (negative disables)")
 	inflight := flag.Int("inflight", 0, "max concurrent compute-path requests (0 = 2x workers)")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on a dedicated address (e.g. localhost:6060), independent of the API listener")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
@@ -56,6 +57,14 @@ func main() {
 	cliutil.NonNegativeInt("workers", *workers)
 	cliutil.NonNegativeInt("inflight", *inflight)
 	cliutil.PositiveDuration("drain", *drain)
+
+	if *pprofAddr != "" {
+		addr, err := cliutil.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("dgs-api: pprof listener: %v", err)
+		}
+		log.Printf("dgs-api: pprof on http://%s/debug/pprof/", addr)
+	}
 
 	t0 := time.Now()
 	snap, err := serve.NewSnapshot(serve.SnapshotConfig{

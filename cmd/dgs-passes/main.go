@@ -50,6 +50,7 @@ func main() {
 	stations := flag.Int("stations", 173, "population mode: synthetic station network size")
 	walker := flag.Bool("walker", false, "population mode: Walker-delta shell (53°, 550 km) instead of the paper's EO mix")
 	fullScan := flag.Bool("full-scan", false, "population mode: disable the spatial candidate index (differential check)")
+	workers := flag.Int("workers", 0, "population mode: sweep/refinement worker pool size (0 = GOMAXPROCS; windows are identical for any value)")
 	seed := flag.Int64("seed", 1, "population mode: synthesis seed")
 	top := flag.Int("top", 20, "population mode: windows to print (0 = summary only)")
 	flag.Parse()
@@ -59,10 +60,11 @@ func main() {
 	cliutil.Range("min-el", *minEl, 0, 90)
 	cliutil.NonNegativeInt("sats", *sats)
 	cliutil.PositiveInt("stations", *stations)
+	cliutil.NonNegativeInt("workers", *workers)
 	cliutil.NonNegativeInt("top", *top)
 
 	if *sats > 0 {
-		populationMain(*sats, *stations, *walker, *fullScan, *seed, *hours, *from, *top)
+		populationMain(*sats, *stations, *walker, *fullScan, *workers, *seed, *hours, *from, *top)
 		return
 	}
 
@@ -152,7 +154,7 @@ func main() {
 // path as a standalone tool. It reports the candidate-index pruning stats
 // alongside the windows so the spatial index's effect is visible from the
 // command line.
-func populationMain(nSat, nGs int, walker, fullScan bool, seed int64, hours float64, from string, top int) {
+func populationMain(nSat, nGs int, walker, fullScan bool, workers int, seed int64, hours float64, from string, top int) {
 	start := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
 	if from != "" {
 		var err error
@@ -179,7 +181,9 @@ func populationMain(nSat, nGs int, walker, fullScan bool, seed int64, hours floa
 		props = append(props, p)
 	}
 	horizon := time.Duration(hours * float64(time.Hour))
-	pred := passes.New(poscache.New(props), net, passes.Config{FullScan: fullScan})
+	cache := poscache.New(props)
+	cache.Workers = workers
+	pred := passes.New(cache, net, passes.Config{FullScan: fullScan, Workers: workers})
 
 	t0 := time.Now()
 	ws := pred.WindowsBetween(nil, start, start.Add(horizon))
@@ -192,10 +196,11 @@ func populationMain(nSat, nGs int, walker, fullScan bool, seed int64, hours floa
 	fmt.Printf("%d-satellite %s × %d stations, %v from %s (%s)\n",
 		nSat, kind, nGs, horizon.Round(time.Minute), start.Format(time.RFC3339), mode)
 	st := pred.Stats()
-	fmt.Printf("%d windows in %v; evaluated %d of %d pairs (%.2f%%) over %d instants\n\n",
+	fmt.Printf("%d windows in %v; evaluated %d of %d pairs (%.2f%%) over %d instants, %d refine bisections\n\n",
 		len(ws), elapsed.Round(time.Millisecond),
 		st.CandidatePairs, st.CrossPairs,
-		100*float64(st.CandidatePairs)/float64(st.CrossPairs), st.Instants)
+		100*float64(st.CandidatePairs)/float64(st.CrossPairs), st.Instants,
+		st.RefineBisections)
 	for i, w := range ws {
 		if i >= top {
 			fmt.Printf("... %d more\n", len(ws)-top)

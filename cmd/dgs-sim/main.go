@@ -58,6 +58,7 @@ func main() {
 	checkpointPath := flag.String("checkpoint", "", "on interrupt, save engine state to this file instead of aborting")
 	resumePath := flag.String("resume", "", "resume from a checkpoint file (scenario flags must match the original run)")
 	eventsPath := flag.String("events", "", "stream simulation events to this file as JSONL")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the sim runs")
 	quiet := flag.Bool("q", false, "suppress per-day progress")
 	flag.Parse()
 	cliutil.PositiveInt("days", *days)
@@ -69,6 +70,15 @@ func main() {
 	cliutil.PositiveFloat("gen-gb", *genGB)
 	cliutil.NonNegativeDuration("step", *step)
 	cliutil.NonNegativeInt("workers", *workers)
+
+	if *pprofAddr != "" {
+		addr, err := cliutil.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-sim: pprof listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dgs-sim: pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	var sys dgs.System
 	switch *system {

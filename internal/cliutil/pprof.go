@@ -1,0 +1,29 @@
+// Debug-profiling endpoint shared by the long-running binaries: a hot-path
+// regression in a deployed sim or API server can be profiled with the
+// standard pprof tooling by restarting nothing — pass the flag, hit the
+// endpoint — instead of rebuilding with a cpuprofile flag.
+
+package cliutil
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"time"
+)
+
+// StartPprof serves net/http/pprof on a dedicated listener at addr
+// (e.g. "localhost:6060"; a ":0" port picks a free one). It returns the
+// bound address, so callers can log where the profiles live. The listener
+// is private to profiling: it serves the default mux, where the pprof
+// import registers its handlers, and is never the application's own API
+// listener.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

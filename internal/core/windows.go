@@ -41,6 +41,7 @@ func (s *Scheduler) predictPairs(positions *poscache.Cache, start time.Time, n i
 			Tol:        coarse,
 			MaxRangeKm: s.maxRange(),
 			FullScan:   s.FullScan,
+			Workers:    s.Workers,
 		}
 		// The slot grid must be a subset of the stride grid or the
 		// predictor could hide edges the sweep would see; coarseStepFor

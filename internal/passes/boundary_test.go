@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -113,5 +114,108 @@ func TestCoveringStopsEarly(t *testing.T) {
 	})
 	if len(got) != 1 || got[0].Sat != 0 {
 		t.Fatalf("early-stop yielded %v, want just sat 0", got)
+	}
+}
+
+// The remaining tests pin Predictor-level edges: Prune's boundary is
+// inclusive like Covers (a window ending exactly at the prune instant
+// survives, because a slot at that instant may still schedule it), a
+// query that forces a re-anchor after a prune rebuilds coverage
+// identically to a fresh predictor, and empty-horizon queries return a
+// zero-length slice — never nil — so callers can serialize and compare
+// results without special-casing.
+
+func TestPruneExactlyOnWindowBoundary(t *testing.T) {
+	pos, net := world(t, 40, 25)
+	p := New(pos, net, Config{})
+	ws := p.WindowsBetween(nil, epoch, epoch.Add(2*time.Hour))
+	var probe Window
+	for _, w := range ws {
+		if !w.Set.IsZero() { // completed, not in progress
+			probe = w
+			break
+		}
+	}
+	if probe.End.IsZero() {
+		t.Fatal("no completed window to prune against")
+	}
+
+	count := func(ws Windows) int {
+		n := 0
+		for _, w := range ws {
+			if w.Sat == probe.Sat && w.Station == probe.Station && w.Start.Equal(probe.Start) {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Pruning exactly at End keeps the window (End is inside the bracket).
+	p.Prune(probe.End)
+	if n := count(p.WindowsBetween(nil, epoch, epoch.Add(2*time.Hour))); n != 1 {
+		t.Fatalf("window pruned at its own End instant (found %d)", n)
+	}
+	// One nanosecond past End drops it.
+	p.Prune(probe.End.Add(time.Nanosecond))
+	if n := count(p.WindowsBetween(nil, epoch, epoch.Add(2*time.Hour))); n != 0 {
+		t.Fatalf("window survived a prune strictly past its End (found %d)", n)
+	}
+}
+
+func TestReanchorAfterPrune(t *testing.T) {
+	pos, net := world(t, 40, 25)
+	p := New(pos, net, Config{})
+	p.WindowsBetween(nil, epoch, epoch.Add(time.Hour))
+	p.Prune(epoch.Add(time.Hour))
+
+	// Querying off the established stride grid forces a re-anchor; the
+	// result must match a predictor that never had the earlier coverage.
+	from := epoch.Add(61*time.Minute + 30*time.Second)
+	to := from.Add(45 * time.Minute)
+	got := p.WindowsBetween(nil, from, to)
+	fresh := New(pos, net, Config{}).WindowsBetween(nil, from, to)
+	if len(got) == 0 {
+		t.Fatal("no windows after re-anchor; the comparison is vacuous")
+	}
+	if !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("re-anchored coverage diverges from fresh predictor:\n got %d windows\nwant %d windows",
+			len(got), len(fresh))
+	}
+	// The re-anchor must also have discarded pre-reset windows: everything
+	// returned starts within the new coverage.
+	for _, w := range got {
+		if w.End.Before(from) {
+			t.Fatalf("window from discarded coverage leaked through: %+v", w)
+		}
+	}
+}
+
+func TestEmptyHorizonReturnsNonNil(t *testing.T) {
+	pos, net := world(t, 4, 3)
+	p := New(pos, net, Config{})
+	at := epoch.Add(30 * time.Minute)
+
+	for name, ws := range map[string]Windows{
+		"zero-length horizon": p.WindowsBetween(nil, at, at),
+		"inverted horizon":    p.WindowsBetween(nil, at, at.Add(-time.Minute)),
+	} {
+		if ws == nil {
+			t.Errorf("%s: returned nil, want zero-length slice", name)
+		}
+		if len(ws) != 0 {
+			t.Errorf("%s: returned %d windows, want 0", name, len(ws))
+		}
+	}
+
+	// A non-empty horizon with no contacts must agree: zero-length, not nil.
+	if ws := p.WindowsBetween(nil, at, at.Add(time.Minute)); ws == nil {
+		t.Error("contactless horizon returned nil, want zero-length slice")
+	}
+
+	// An existing dst is appended to (and returned as-is when nothing
+	// matches), preserving the append contract.
+	dst := make(Windows, 0, 8)
+	if out := p.WindowsBetween(dst, at, at); len(out) != 0 || cap(out) != cap(dst) {
+		t.Error("empty-horizon query reallocated or grew a provided dst")
 	}
 }

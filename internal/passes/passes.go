@@ -27,6 +27,7 @@ import (
 
 	"dgs/internal/astro"
 	"dgs/internal/frames"
+	"dgs/internal/pool"
 	"dgs/internal/poscache"
 	"dgs/internal/spatial"
 	"dgs/internal/station"
@@ -108,6 +109,14 @@ type Config struct {
 	// exists so differential tests and benchmarks can compare the two
 	// paths.
 	FullScan bool
+	// Workers bounds the parallelism of the stride sweep and the AOS/LOS
+	// refinement: <= 0 means GOMAXPROCS, 1 keeps both fully serial (the
+	// differential ablation). Output is bit-identical at any worker
+	// count — sweep shards own disjoint ascending satellite ranges whose
+	// sorted key slices concatenate in shard order, and refinement groups
+	// write results back by queue index — so the knob trades nothing but
+	// wall-clock.
+	Workers int
 }
 
 // Validate reports whether the configuration can drive the scheduler's
@@ -154,13 +163,26 @@ func (c Config) maxRange() float64 {
 	return c.MaxRangeKm
 }
 
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return pool.DefaultWorkers()
+	}
+	return c.Workers
+}
+
 // run is an in-progress above-mask streak for one pair.
 type run struct {
 	start, rise time.Time
 }
 
-// Stats counts the coarse scan's work so tests and benchmarks can verify
-// the candidate index prunes the cross product.
+// Stats counts the predictor's work so tests and benchmarks can verify
+// that the candidate index prunes the cross product and the refinement
+// stays within its probe budget. Counters accumulate for the predictor's
+// lifetime — they survive Prune and scan re-anchors — so a per-call
+// reading is taken by calling ResetStats before the call and Stats after
+// it. Every counter is deterministic at any worker count: the sharded
+// sweep and the parallel refinement tally into per-shard and per-group
+// slots that are summed in index order.
 type Stats struct {
 	// Instants is the number of stride instants scanned.
 	Instants int64
@@ -170,11 +192,32 @@ type Stats struct {
 	// CrossPairs is the number of pairs a full cross-product scan would
 	// have evaluated over the same instants.
 	CrossPairs int64
+	// RefineBisections is the number of bisection iterations spent
+	// refining AOS/LOS brackets: one per pending transition per halving
+	// round. A propagation shared by several transitions (one satellite
+	// crossing several masks at one instant) still counts once per
+	// transition, so the tally matches the serial inline refinement
+	// exactly and is independent of both the dedup and the worker count.
+	RefineBisections int64
+}
+
+// pendRef is one AOS/LOS transition awaiting bisection refinement.
+// winIdx is the index of the window to patch with the refined bracket,
+// or −1 to patch the still-open run keyed by key. Transitions queue in
+// scan order, so the entries of one group (one bracket instant) ascend
+// by pair key — the merge diff emits keys in order — which is what keeps
+// same-satellite entries adjacent for the refinement's propagation dedup.
+type pendRef struct {
+	key    int64
+	winIdx int32
+	rising bool
 }
 
 // Predictor incrementally predicts contact windows for a satellite
-// population against a station network. It is not safe for concurrent use;
-// the scheduler drives it from the sequential part of PlanEpoch.
+// population against a station network. It is not safe for concurrent
+// use — the scheduler drives it from the sequential part of PlanEpoch —
+// but internally it fans the sweep and the refinement out over
+// Config.Workers goroutines with bit-identical results at any count.
 type Predictor struct {
 	positions *poscache.Cache
 	stations  station.Network
@@ -185,7 +228,7 @@ type Predictor struct {
 	// satellite's horizon disk (same index the scheduler's sweep uses).
 	grid *spatial.Grid
 	topo []frames.Topocentric
-	cand []int32 // reused AppendNear scratch
+	cand []int32 // reused AppendNear scratch (serial sweep path)
 	stat Stats
 
 	// Scan state: instants anchor + k·CoarseStep for k ≥ 0 are scanned in
@@ -195,6 +238,28 @@ type Predictor struct {
 	runs                               map[int64]run
 	windows                            []Window
 	sorted                             bool
+
+	// Deferred refinement queue: transitions detected during a sweep,
+	// grouped by bracket instant (groupStart[g] is the first pend of the
+	// group at groupT[g]), bisected together by flushRefine at the end of
+	// each ensure. pendOpen maps a still-open run's key to its queued AOS
+	// entry so a close in the same batch can re-target the patch at the
+	// emitted window.
+	pend         []pendRef
+	pendOpen     map[int64]int32
+	groupStart   []int32
+	groupT       []time.Time
+	refLo, refHi []time.Time // refined brackets, by queue index
+	entIdx       []int32     // per-flush work list, grouped like pend
+	groupBis     []int64     // per-group bisection tallies
+
+	// Reusable parallel scratch: per-shard key slices and tallies for the
+	// sweep, per-worker candidate and partition buffers.
+	shardKeys  [][]int64
+	shardPairs []int64
+	workerCand [][]int32
+	refScratch [][]int32
+	tsBuf      []time.Time
 }
 
 // New builds a predictor over a position cache and station network. Both
@@ -207,6 +272,7 @@ func New(positions *poscache.Cache, stations station.Network, cfg Config) *Predi
 		grid:      spatial.NewGrid(),
 		topo:      make([]frames.Topocentric, len(stations)),
 		runs:      make(map[int64]run),
+		pendOpen:  make(map[int64]int32),
 	}
 	for j, gs := range stations {
 		p.grid.Add(int32(j), gs.Location.LatRad, gs.Location.LonRad)
@@ -221,6 +287,10 @@ func (p *Predictor) CoarseStep() time.Duration { return p.cfg.coarse() }
 // Stats returns the cumulative scan-work counters.
 func (p *Predictor) Stats() Stats { return p.stat }
 
+// ResetStats zeroes the work counters, giving the next Stats call
+// per-interval semantics. It does not disturb scan coverage.
+func (p *Predictor) ResetStats() { p.stat = Stats{} }
+
 // WindowsBetween returns every window overlapping [from, to), extending
 // the coarse scan as needed, appended to dst (which may be nil). Contacts
 // still in progress at the coverage boundary are reported with End set to
@@ -232,6 +302,12 @@ func (p *Predictor) Stats() Stats { return p.stat }
 // just not incremental). Queries never look backwards in the steady state:
 // prune retired instants with Prune as the clock advances.
 func (p *Predictor) WindowsBetween(dst Windows, from, to time.Time) Windows {
+	if dst == nil {
+		// Zero-length, never nil: callers serialize the result (the API
+		// layer renders [] rather than null) and diff it in tests, and an
+		// empty horizon must compare equal to a horizon with no contacts.
+		dst = Windows{}
+	}
 	if !to.After(from) {
 		return dst
 	}
@@ -279,7 +355,12 @@ func (p *Predictor) Prune(t time.Time) {
 	p.windows = kept
 }
 
-// ensure extends the contiguous coarse scan to cover [from, to).
+// ensure extends the contiguous coarse scan to cover [from, to). Stride
+// instants are fetched from the position cache in blocks — AtRange keeps
+// the SoA coefficients hot across consecutive instants — each instant's
+// sweep shards over the worker pool, and the AOS/LOS refinement work the
+// sweeps queue up is flushed once at the end, bisecting whole groups of
+// brackets in lockstep.
 func (p *Predictor) ensure(from, to time.Time) {
 	step := p.cfg.coarse()
 	if p.anchor.IsZero() ||
@@ -288,9 +369,21 @@ func (p *Predictor) ensure(from, to time.Time) {
 		from.After(p.lastScanned.Add(step)) {
 		p.reset(from)
 	}
-	for t := p.next; t.Before(to); t = t.Add(step) {
-		p.scan(t)
+	// The block size caps how many population snapshots sit in flight
+	// between the cache fill and the sweeps that consume them: 32 instants
+	// at mega scale (10k satellites) is a few MB.
+	const block = 32
+	for p.next.Before(to) {
+		ts := p.tsBuf[:0]
+		for t := p.next; t.Before(to) && len(ts) < block; t = t.Add(step) {
+			ts = append(ts, t)
+		}
+		p.tsBuf = ts
+		for k, entries := range p.positions.AtRange(ts) {
+			p.scan(ts[k], entries)
+		}
 	}
+	p.flushRefine()
 }
 
 // reset discards all scan state and re-anchors the stride grid at from.
@@ -301,18 +394,22 @@ func (p *Predictor) reset(from time.Time) {
 	clear(p.runs)
 	p.windows = p.windows[:0]
 	p.sorted = true
+	p.pend = p.pend[:0]
+	p.groupStart = p.groupStart[:0]
+	p.groupT = p.groupT[:0]
+	clear(p.pendOpen)
 }
 
-// scan evaluates one stride instant: which pairs are above the mask now,
-// and which transitions happened since the previous instant.
-func (p *Predictor) scan(t time.Time) {
-	entries := p.positions.At(t)
+// scanRange appends the above-mask pair keys of satellites [lo, hi) to
+// keys, sorted, using cand as AppendNear scratch. It returns the keys,
+// the (possibly grown) scratch, and the number of pairs evaluated
+// exactly — the shard-local tally the caller sums in shard order.
+func (p *Predictor) scanRange(keys []int64, entries []poscache.Entry, lo, hi int, cand []int32) ([]int64, []int32, int64) {
 	maxRange := p.cfg.maxRange()
 	nGs := int64(len(p.stations))
-	cur := p.cur[:0]
-	p.stat.Instants++
-	p.stat.CrossPairs += int64(len(entries)) * nGs
-	for i, e := range entries {
+	var pairs int64
+	for i := lo; i < hi; i++ {
+		e := entries[i]
 		if !e.OK {
 			continue
 		}
@@ -321,23 +418,70 @@ func (p *Predictor) scan(t time.Time) {
 			continue
 		}
 		if p.cfg.FullScan {
-			p.stat.CandidatePairs += nGs
+			pairs += nGs
 			for j := range p.stations {
 				if p.aboveWith(e.Pos, j, maxRange) {
-					cur = append(cur, int64(i)*nGs+int64(j))
+					keys = append(keys, int64(i)*nGs+int64(j))
 				}
 			}
 			continue
 		}
-		p.cand = p.grid.AppendNear(p.cand[:0], sp, spatial.HorizonPsiDeg(sp.RKm))
-		p.stat.CandidatePairs += int64(len(p.cand))
-		for _, j := range p.cand {
+		cand = p.grid.AppendNear(cand[:0], sp, spatial.HorizonPsiDeg(sp.RKm))
+		pairs += int64(len(cand))
+		for _, j := range cand {
 			if p.aboveWith(e.Pos, int(j), maxRange) {
-				cur = append(cur, int64(i)*nGs+int64(j))
+				keys = append(keys, int64(i)*nGs+int64(j))
 			}
 		}
 	}
-	slices.Sort(cur)
+	slices.Sort(keys)
+	return keys, cand, pairs
+}
+
+// scan evaluates one stride instant: which pairs are above the mask now,
+// and which transitions happened since the previous instant. entries are
+// the population positions at t, prefetched in blocks by ensure.
+//
+// The per-satellite loop shards over the worker pool. Each shard owns a
+// contiguous satellite range and emits a private sorted key slice; shard
+// s covers keys in [lo·nGs, hi·nGs) — disjoint, ascending ranges — so
+// concatenating the shard slices in shard index order reproduces the
+// serial path's globally sorted key set exactly, for any worker count
+// and any scheduling of shards onto workers.
+func (p *Predictor) scan(t time.Time, entries []poscache.Entry) {
+	nGs := int64(len(p.stations))
+	p.stat.Instants++
+	p.stat.CrossPairs += int64(len(entries)) * nGs
+
+	const shardSats = 256
+	workers := p.cfg.workers()
+	nShards := (len(entries) + shardSats - 1) / shardSats
+	cur := p.cur[:0]
+	if workers <= 1 || nShards <= 1 {
+		var pairs int64
+		cur, p.cand, pairs = p.scanRange(cur, entries, 0, len(entries), p.cand)
+		p.stat.CandidatePairs += pairs
+	} else {
+		for len(p.shardKeys) < nShards {
+			p.shardKeys = append(p.shardKeys, nil)
+		}
+		if len(p.shardPairs) < nShards {
+			p.shardPairs = make([]int64, nShards)
+		}
+		for len(p.workerCand) < workers {
+			p.workerCand = append(p.workerCand, nil)
+		}
+		pool.ForEachWorker(workers, nShards, func(w, si int) {
+			lo := si * shardSats
+			hi := min(lo+shardSats, len(entries))
+			p.shardKeys[si], p.workerCand[w], p.shardPairs[si] =
+				p.scanRange(p.shardKeys[si][:0], entries, lo, hi, p.workerCand[w])
+		})
+		for si := 0; si < nShards; si++ {
+			cur = append(cur, p.shardKeys[si]...)
+			p.stat.CandidatePairs += p.shardPairs[si]
+		}
+	}
 	p.cur = cur
 
 	// Sorted-merge diff against the previous instant: new keys rose in
@@ -362,53 +506,182 @@ func (p *Predictor) scan(t time.Time) {
 	p.next = t.Add(p.cfg.coarse())
 }
 
-// begin opens a run for a pair first seen above the mask at t.
+// begin opens a run for a pair first seen above the mask at t and queues
+// its AOS bracket (t−step, t] for refinement. Until flushRefine patches
+// it, the run carries the unrefined bracket ends — already the final
+// values whenever Tol ≥ CoarseStep, which is why the flush may skip the
+// probes entirely in that regime.
 func (p *Predictor) begin(key int64, t time.Time) {
 	if t.Equal(p.covFrom) {
 		// Already up at the start of coverage: no earlier bracket exists.
 		p.runs[key] = run{start: t, rise: t}
 		return
 	}
-	nGs := int64(len(p.stations))
-	lo, hi := p.refine(int(key/nGs), int(key%nGs), t.Add(-p.cfg.coarse()), t, true)
-	p.runs[key] = run{start: lo, rise: hi}
+	p.pendOpen[key] = p.enqueueRef(key, -1, true, t)
+	p.runs[key] = run{start: t.Add(-p.cfg.coarse()), rise: t}
 }
 
-// end closes the run for a pair last seen above the mask at t−step.
+// end closes the run for a pair last seen above the mask at t−step and
+// queues its LOS bracket for refinement. If the run was opened earlier in
+// the same unflushed batch, its queued AOS entry is re-targeted from the
+// run (now deleted) to the emitted window so the flush patches the right
+// place.
 func (p *Predictor) end(key int64, t time.Time) {
 	r := p.runs[key]
 	delete(p.runs, key)
-	nGs := int64(len(p.stations))
-	lo, hi := p.refine(int(key/nGs), int(key%nGs), t.Add(-p.cfg.coarse()), t, false)
+	winIdx := int32(len(p.windows))
 	p.windows = append(p.windows, Window{
-		Sat:     int(key / nGs),
-		Station: int(key % nGs),
+		Sat:     int(key / int64(len(p.stations))),
+		Station: int(key % int64(len(p.stations))),
 		Start:   r.start,
 		Rise:    r.rise,
-		Set:     lo,
-		End:     hi,
+		Set:     t.Add(-p.cfg.coarse()),
+		End:     t,
 	})
+	if i, ok := p.pendOpen[key]; ok {
+		p.pend[i].winIdx = winIdx
+		delete(p.pendOpen, key)
+	}
+	p.enqueueRef(key, winIdx, false, t)
 	p.sorted = false
 }
 
-// refine bisects an AOS (rising) or LOS (falling) bracket down to the
-// configured tolerance. For rising, lo is below the mask and hi above; for
-// falling the reverse. It returns the final (lo, hi) bracket: the crossing
-// lies in (lo, hi].
-func (p *Predictor) refine(sat, st int, lo, hi time.Time, rising bool) (time.Time, time.Time) {
-	tol := p.cfg.tol()
-	maxRange := p.cfg.maxRange()
-	for hi.Sub(lo) > tol {
-		mid := lo.Add(hi.Sub(lo) / 2)
-		e := p.positions.SatAt(sat, mid)
-		above := e.OK && e.Pos.Norm() > astro.EarthRadiusKm && p.aboveWith(e.Pos, st, maxRange)
-		if above == rising {
-			hi = mid
-		} else {
-			lo = mid
+// enqueueRef appends a pending refinement for the bracket (t−step, t],
+// opening a new group when t differs from the current group's instant,
+// and returns the queue index. Scans advance in time order, so equal-t
+// pends are always contiguous.
+func (p *Predictor) enqueueRef(key int64, winIdx int32, rising bool, t time.Time) int32 {
+	if len(p.groupT) == 0 || !p.groupT[len(p.groupT)-1].Equal(t) {
+		p.groupT = append(p.groupT, t)
+		p.groupStart = append(p.groupStart, int32(len(p.pend)))
+	}
+	p.pend = append(p.pend, pendRef{key: key, winIdx: winIdx, rising: rising})
+	return int32(len(p.pend) - 1)
+}
+
+// flushRefine bisects every queued AOS/LOS bracket and patches the
+// refined bounds into windows (by index) and still-open runs (by key).
+// All transitions detected at one stride instant share bracket endpoints
+// and therefore the same dyadic midpoint sequence, so each group refines
+// in lockstep: one Julian date and Earth rotation per round, and one
+// propagation per distinct satellite per round — a satellite crossing
+// several stations' masks at once is propagated once, which is where the
+// mega-scale refinement cost goes. Groups fan out over the worker pool;
+// each writes only its own queue slots and tallies into its own slot,
+// and the tallies are summed in group order, so both the results and the
+// stats are identical at any worker count.
+func (p *Predictor) flushRefine() {
+	if len(p.pend) == 0 {
+		return
+	}
+	n := len(p.pend)
+	if cap(p.refLo) < n {
+		p.refLo, p.refHi = make([]time.Time, n), make([]time.Time, n)
+	}
+	p.refLo, p.refHi = p.refLo[:n], p.refHi[:n]
+	if cap(p.entIdx) < n {
+		p.entIdx = make([]int32, n)
+	}
+	p.entIdx = p.entIdx[:n]
+	for i := range p.entIdx {
+		p.entIdx[i] = int32(i)
+	}
+	nGroups := len(p.groupT)
+	if cap(p.groupBis) < nGroups {
+		p.groupBis = make([]int64, nGroups)
+	}
+	p.groupBis = p.groupBis[:nGroups]
+	workers := p.cfg.workers()
+	for len(p.refScratch) < workers {
+		p.refScratch = append(p.refScratch, nil)
+	}
+	step := p.cfg.coarse()
+	pool.ForEachWorker(workers, nGroups, func(w, gi int) {
+		lo := p.groupStart[gi]
+		hi := int32(n)
+		if gi+1 < nGroups {
+			hi = p.groupStart[gi+1]
+		}
+		ents := p.entIdx[lo:hi]
+		if cap(p.refScratch[w]) < len(ents) {
+			p.refScratch[w] = make([]int32, len(ents))
+		}
+		t := p.groupT[gi]
+		p.groupBis[gi] = p.refineEnts(ents, t.Add(-step), t, p.refScratch[w])
+	})
+	for _, b := range p.groupBis {
+		p.stat.RefineBisections += b
+	}
+	for i, pr := range p.pend {
+		lo, hi := p.refLo[i], p.refHi[i]
+		switch {
+		case pr.rising && pr.winIdx < 0:
+			r := p.runs[pr.key]
+			r.start, r.rise = lo, hi
+			p.runs[pr.key] = r
+		case pr.rising:
+			p.windows[pr.winIdx].Start = lo
+			p.windows[pr.winIdx].Rise = hi
+		default:
+			p.windows[pr.winIdx].Set = lo
+			p.windows[pr.winIdx].End = hi
 		}
 	}
-	return lo, hi
+	p.pend = p.pend[:0]
+	p.groupStart = p.groupStart[:0]
+	p.groupT = p.groupT[:0]
+	clear(p.pendOpen)
+}
+
+// refineEnts lockstep-bisects one group of pending transitions sharing
+// the bracket (lo, hi]. Each round probes the shared midpoint once per
+// distinct satellite and splits the group in place: entries whose probe
+// matched their transition direction tighten to (lo, mid], the rest to
+// (mid, hi]. The split is stable, so each child stays ordered by pair
+// key and the same-satellite dedup remains valid; per-entry bracket
+// evolution is exactly the serial bisection's, so the refined bounds are
+// bit-identical to the inline path. scratch must have capacity for
+// len(ents); the return value is the bisection tally.
+func (p *Predictor) refineEnts(ents []int32, lo, hi time.Time, scratch []int32) int64 {
+	if len(ents) == 0 {
+		return 0
+	}
+	if hi.Sub(lo) <= p.cfg.tol() {
+		for _, ei := range ents {
+			p.refLo[ei], p.refHi[ei] = lo, hi
+		}
+		return 0
+	}
+	mid := lo.Add(hi.Sub(lo) / 2)
+	jd := astro.JulianDate(mid)
+	rot := frames.NewEarthRotation(jd)
+	maxRange := p.cfg.maxRange()
+	nGs := int64(len(p.stations))
+	lastSat := int64(-1)
+	satUp := false
+	var e poscache.Entry
+	k := 0
+	spill := scratch[:0]
+	for _, ei := range ents {
+		pr := p.pend[ei]
+		if sat := pr.key / nGs; sat != lastSat {
+			e = p.positions.SatAtWith(int(sat), mid, jd, rot)
+			satUp = e.OK && e.Pos.Norm() > astro.EarthRadiusKm
+			lastSat = sat
+		}
+		above := satUp && p.aboveWith(e.Pos, int(pr.key%nGs), maxRange)
+		if above == pr.rising {
+			ents[k] = ei
+			k++
+		} else {
+			spill = append(spill, ei)
+		}
+	}
+	copy(ents[k:], spill)
+	bis := int64(len(ents))
+	bis += p.refineEnts(ents[:k], lo, mid, scratch)
+	bis += p.refineEnts(ents[k:], mid, hi, scratch)
+	return bis
 }
 
 // aboveWith is the predictor's above test for one station: within slant

@@ -109,6 +109,72 @@ func (c *Cache) At(t time.Time) []Entry {
 	return entries
 }
 
+// AtRange returns the population's positions at every instant of ts,
+// computing the misses in one pass. The sweep path of the pass predictor
+// walks a block of consecutive strides; filling them together lets the
+// batch path iterate sat-chunk-major — each worker streams one chunk of
+// SoA coefficients across all missing instants while they are hot in
+// cache — instead of re-touching the whole coefficient block per instant.
+// Entries are bit-identical to per-instant At calls; returned slices are
+// shared and read-only.
+func (c *Cache) AtRange(ts []time.Time) [][]Entry {
+	out := make([][]Entry, len(ts))
+	miss := make([]int, 0, len(ts))
+	c.mu.RLock()
+	for k, t := range ts {
+		if e, ok := c.slots[t.UnixNano()]; ok {
+			out[k] = e
+		} else {
+			miss = append(miss, k)
+		}
+	}
+	c.mu.RUnlock()
+	if len(miss) == 0 {
+		return out
+	}
+	if !c.Batched() || len(miss) == 1 {
+		for _, k := range miss {
+			out[k] = c.At(ts[k])
+		}
+		return out
+	}
+
+	jds := make([]float64, len(miss))
+	rots := make([]frames.EarthRotation, len(miss))
+	computed := make([][]Entry, len(miss))
+	n := len(c.props)
+	for m, k := range miss {
+		jds[m] = astro.JulianDate(ts[k])
+		rots[m] = frames.NewEarthRotation(jds[m])
+		computed[m] = make([]Entry, n)
+	}
+	const chunk = 256
+	pool.ForEach(c.Workers, (n+chunk-1)/chunk, func(ci int) {
+		lo := ci * chunk
+		hi := min(lo+chunk, n)
+		for m := range miss {
+			ents := computed[m]
+			for i := lo; i < hi; i++ {
+				pos, ok := c.batch.PositionECEF(i, jds[m], rots[m])
+				ents[i] = Entry{Pos: pos, OK: ok}
+			}
+		}
+	})
+	c.mu.Lock()
+	for m, k := range miss {
+		key := ts[k].UnixNano()
+		// Prior-wins, as in At: a concurrent filler computed the same bits.
+		if prior, ok := c.slots[key]; ok {
+			out[k] = prior
+		} else {
+			c.slots[key] = computed[m]
+			out[k] = computed[m]
+		}
+	}
+	c.mu.Unlock()
+	return out
+}
+
 // compute propagates the whole population at t, fanning out over the
 // worker pool. Each worker writes only its own indices, so the result is
 // identical for any worker count, and the batch and scalar paths produce
@@ -155,6 +221,25 @@ func (c *Cache) SatAt(i int, t time.Time) Entry {
 		return Entry{}
 	}
 	return Entry{Pos: frames.TEMEToECEF(st.PositionKm, astro.JulianDate(t)), OK: true}
+}
+
+// SatAtWith is SatAt with the per-instant conversion constants hoisted:
+// jd must equal astro.JulianDate(t) and rot frames.NewEarthRotation(jd).
+// The predictor's bisection refinement probes many satellites at one
+// shared midpoint instant, so it computes jd and rot once per group and
+// reuses them across every probe; with a batch population the probe runs
+// the SoA kernel directly, skipping the scalar propagator's state struct.
+// Results are bit-identical to SatAt on both paths.
+func (c *Cache) SatAtWith(i int, t time.Time, jd float64, rot frames.EarthRotation) Entry {
+	if c.Batched() {
+		pos, ok := c.batch.PositionECEF(i, jd, rot)
+		return Entry{Pos: pos, OK: ok}
+	}
+	st, err := c.props[i].PropagateTo(t)
+	if err != nil {
+		return Entry{}
+	}
+	return Entry{Pos: rot.Apply(st.PositionKm), OK: true}
 }
 
 // Prune drops every cached instant strictly before t. The simulator calls

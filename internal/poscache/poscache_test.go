@@ -190,3 +190,74 @@ func TestConcurrentAtIsConsistent(t *testing.T) {
 		t.Fatalf("cache size = %d, want 1", c.Size())
 	}
 }
+
+// TestAtRangeMatchesAt holds the block fill to the per-instant path
+// bit-for-bit, across batch and scalar populations, and checks the mixed
+// hit/miss case: instants already cached come back as the shared cached
+// slices, misses are computed and stored.
+func TestAtRangeMatchesAt(t *testing.T) {
+	for _, scalar := range []bool{false, true} {
+		block := testCache(t, 23)
+		block.NoBatch = scalar
+		single := testCache(t, 23)
+		single.NoBatch = scalar
+
+		// Pre-cache two of the instants so the range mixes hits and misses.
+		ts := make([]time.Time, 9)
+		for k := range ts {
+			ts[k] = epoch.Add(time.Duration(k) * 13 * time.Minute)
+		}
+		warmA, warmB := block.At(ts[2]), block.At(ts[6])
+
+		got := block.AtRange(ts)
+		if len(got) != len(ts) {
+			t.Fatalf("scalar=%v: AtRange returned %d slices, want %d", scalar, len(got), len(ts))
+		}
+		if &got[2][0] != &warmA[0] || &got[6][0] != &warmB[0] {
+			t.Fatalf("scalar=%v: cached instants were recomputed, not shared", scalar)
+		}
+		for k := range ts {
+			want := single.At(ts[k])
+			for i := range want {
+				if got[k][i] != want[i] {
+					t.Fatalf("scalar=%v instant %d sat %d: AtRange %+v, At %+v",
+						scalar, k, i, got[k][i], want[i])
+				}
+			}
+		}
+		if block.Size() != len(ts) {
+			t.Fatalf("scalar=%v: cache size = %d, want %d", scalar, block.Size(), len(ts))
+		}
+		// A second call is all hits and returns the same shared slices.
+		again := block.AtRange(ts)
+		for k := range ts {
+			if &again[k][0] != &got[k][0] {
+				t.Fatalf("scalar=%v: repeated AtRange recomputed instant %d", scalar, k)
+			}
+		}
+	}
+}
+
+// TestSatAtWithMatchesSatAt pins the hoisted-constant probe to SatAt
+// bit-for-bit on both the batch-kernel and scalar paths, including the
+// not-OK result for a decayed satellite (far future for heavy drag would
+// need a decaying set; here every satellite is healthy, so OK must hold).
+func TestSatAtWithMatchesSatAt(t *testing.T) {
+	for _, scalar := range []bool{false, true} {
+		c := testCache(t, 11)
+		c.NoBatch = scalar
+		for k := 0; k < 5; k++ {
+			at := epoch.Add(time.Duration(k)*29*time.Minute + 7*time.Second)
+			jd := astro.JulianDate(at)
+			rot := frames.NewEarthRotation(jd)
+			for i := 0; i < c.Len(); i++ {
+				got := c.SatAtWith(i, at, jd, rot)
+				want := c.SatAt(i, at)
+				if got != want {
+					t.Fatalf("scalar=%v sat %d at %v: SatAtWith %+v, SatAt %+v",
+						scalar, i, at, got, want)
+				}
+			}
+		}
+	}
+}

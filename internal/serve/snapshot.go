@@ -193,6 +193,7 @@ func (s *Snapshot) Passes(from, to time.Time, sat, gs int) passes.Windows {
 	pred := passes.New(s.positions, s.net, passes.Config{
 		CoarseStep: s.cfg.Slot,
 		Tol:        time.Second,
+		Workers:    s.cfg.Workers,
 	})
 	ws := pred.WindowsBetween(nil, from, to)
 	if sat < 0 && gs < 0 {

@@ -86,146 +86,156 @@ func (b *Batch) Len() int { return b.n }
 // jd. Each index is written exactly once, so disjoint ranges may be
 // filled concurrently.
 func (b *Batch) PositionsECEF(jd float64, rot frames.EarthRotation, lo, hi int, pos []frames.Vec3, ok []bool) {
+	for i := lo; i < hi; i++ {
+		pos[i], ok[i] = b.PositionECEF(i, jd, rot)
+	}
+}
+
+// PositionECEF advances one satellite of the batch to the Julian date jd
+// and returns its ECEF position and validity (false where the scalar path
+// would return an error: decayed or non-physical elements). rot must be
+// the Earth rotation for the same jd. It is the element-wise kernel
+// behind PositionsECEF, exported so callers with non-contiguous access
+// patterns — the pass predictor's bisection refinement gathers scattered
+// satellites at scattered instants — can drive the SoA coefficients
+// directly; positions stay bit-identical to the scalar propagator.
+func (b *Batch) PositionECEF(i int, jd float64, rot frames.EarthRotation) (frames.Vec3, bool) {
 	const x2o3 = 2.0 / 3.0
 	g := b.grav
 	j2 := g.J2
 
-	for i := lo; i < hi; i++ {
-		ok[i] = false
-		tsince := (jd - b.epochJD[i]) * 1440.0
+	tsince := (jd - b.epochJD[i]) * 1440.0
 
-		// Update for secular gravity and atmospheric drag.
-		xmdf := b.mo[i] + b.mdot[i]*tsince
-		argpdf := b.argpo[i] + b.argpdot[i]*tsince
-		nodedf := b.nodeo[i] + b.nodedot[i]*tsince
-		argpm := argpdf
-		mm := xmdf
-		t2 := tsince * tsince
-		nodem := nodedf + b.nodecf[i]*t2
-		tempa := 1.0 - b.cc1[i]*tsince
-		tempe := b.bstar[i] * b.cc4[i] * tsince
-		templ := b.t2cof[i] * t2
+	// Update for secular gravity and atmospheric drag.
+	xmdf := b.mo[i] + b.mdot[i]*tsince
+	argpdf := b.argpo[i] + b.argpdot[i]*tsince
+	nodedf := b.nodeo[i] + b.nodedot[i]*tsince
+	argpm := argpdf
+	mm := xmdf
+	t2 := tsince * tsince
+	nodem := nodedf + b.nodecf[i]*t2
+	tempa := 1.0 - b.cc1[i]*tsince
+	tempe := b.bstar[i] * b.cc4[i] * tsince
+	templ := b.t2cof[i] * t2
 
-		if !b.isimp[i] {
-			delomg := b.omgcof[i] * tsince
-			delmtemp := 1.0 + b.eta[i]*math.Cos(xmdf)
-			delm := b.xmcof[i] * (delmtemp*delmtemp*delmtemp - b.delmo[i])
-			temp := delomg + delm
-			mm = xmdf + temp
-			argpm = argpdf - temp
-			t3 := t2 * tsince
-			t4 := t3 * tsince
-			tempa = tempa - b.d2[i]*t2 - b.d3[i]*t3 - b.d4[i]*t4
-			tempe = tempe + b.bstar[i]*b.cc5[i]*(math.Sin(mm)-b.sinmao[i])
-			templ = templ + b.t3cof[i]*t3 + t4*(b.t4cof[i]+tsince*b.t5cof[i])
-		}
-
-		nm := b.no[i]
-		em := b.ecco[i]
-		inclm := b.inclo[i]
-		if nm <= 0 {
-			continue
-		}
-		am := math.Pow(g.XKE/nm, x2o3) * tempa * tempa
-		nm = g.XKE / math.Pow(am, 1.5)
-		em = em - tempe
-		if em >= 1.0 || em < -0.001 {
-			continue
-		}
-		if em < 1.0e-6 {
-			em = 1.0e-6
-		}
-		mm = mm + b.no[i]*templ
-		xlm := mm + argpm + nodem
-
-		nodem = math.Mod(nodem, astro.TwoPi)
-		argpm = math.Mod(argpm, astro.TwoPi)
-		xlm = math.Mod(xlm, astro.TwoPi)
-		mm = math.Mod(xlm-argpm-nodem, astro.TwoPi)
-		if mm < 0 {
-			mm += astro.TwoPi
-		}
-
-		sinim := math.Sin(inclm)
-		cosim := math.Cos(inclm)
-
-		// Long-period periodics.
-		ep := em
-		xincp := inclm
-		argpp := argpm
-		nodep := nodem
-		mp := mm
-		sinip := sinim
-		cosip := cosim
-
-		axnl := ep * math.Cos(argpp)
-		temp := 1.0 / (am * (1.0 - ep*ep))
-		aynl := ep*math.Sin(argpp) + temp*b.aycof[i]
-		xl := mp + argpp + nodep + temp*b.xlcof[i]*axnl
-
-		// Solve Kepler's equation for E + ω.
-		u := math.Mod(xl-nodep, astro.TwoPi)
-		eo1 := u
-		tem5 := 9999.9
-		var sineo1, coseo1 float64
-		for ktr := 1; math.Abs(tem5) >= 1.0e-12 && ktr <= 10; ktr++ {
-			sineo1 = math.Sin(eo1)
-			coseo1 = math.Cos(eo1)
-			tem5 = 1.0 - coseo1*axnl - sineo1*aynl
-			tem5 = (u - aynl*coseo1 + axnl*sineo1 - eo1) / tem5
-			if math.Abs(tem5) >= 0.95 {
-				tem5 = math.Copysign(0.95, tem5)
-			}
-			eo1 += tem5
-		}
-
-		// Short-period preliminary quantities.
-		ecose := axnl*coseo1 + aynl*sineo1
-		esine := axnl*sineo1 - aynl*coseo1
-		el2 := axnl*axnl + aynl*aynl
-		pl := am * (1.0 - el2)
-		if pl < 0 {
-			continue
-		}
-		rl := am * (1.0 - ecose)
-		betal := math.Sqrt(1.0 - el2)
-		temp = esine / (1.0 + betal)
-		sinu := am / rl * (sineo1 - aynl - axnl*temp)
-		cosu := am / rl * (coseo1 - axnl + aynl*temp)
-		su := math.Atan2(sinu, cosu)
-		sin2u := (cosu + cosu) * sinu
-		cos2u := 1.0 - 2.0*sinu*sinu
-		temp = 1.0 / pl
-		temp1 := 0.5 * j2 * temp
-		temp2 := temp1 * temp
-
-		// Short-period periodics applied to the position.
-		mrt := rl*(1.0-1.5*temp2*betal*b.con41[i]) + 0.5*temp1*b.x1mth2[i]*cos2u
-		if mrt < 1.0 {
-			continue // decayed
-		}
-		su = su - 0.25*temp2*b.x7thm1[i]*sin2u
-		xnode := nodep + 1.5*temp2*cosip*sin2u
-		xinc := xincp + 1.5*temp2*cosip*sinip*cos2u
-
-		// Orientation (position components only).
-		sinsu := math.Sin(su)
-		cossu := math.Cos(su)
-		snod := math.Sin(xnode)
-		cnod := math.Cos(xnode)
-		sini := math.Sin(xinc)
-		cosi := math.Cos(xinc)
-		xmx := -snod * cosi
-		xmy := cnod * cosi
-		ux := xmx*sinsu + cnod*cossu
-		uy := xmy*sinsu + snod*cossu
-		uz := sini * sinsu
-
-		pos[i] = rot.Apply(frames.Vec3{
-			X: mrt * ux * g.RadiusKm,
-			Y: mrt * uy * g.RadiusKm,
-			Z: mrt * uz * g.RadiusKm,
-		})
-		ok[i] = true
+	if !b.isimp[i] {
+		delomg := b.omgcof[i] * tsince
+		delmtemp := 1.0 + b.eta[i]*math.Cos(xmdf)
+		delm := b.xmcof[i] * (delmtemp*delmtemp*delmtemp - b.delmo[i])
+		temp := delomg + delm
+		mm = xmdf + temp
+		argpm = argpdf - temp
+		t3 := t2 * tsince
+		t4 := t3 * tsince
+		tempa = tempa - b.d2[i]*t2 - b.d3[i]*t3 - b.d4[i]*t4
+		tempe = tempe + b.bstar[i]*b.cc5[i]*(math.Sin(mm)-b.sinmao[i])
+		templ = templ + b.t3cof[i]*t3 + t4*(b.t4cof[i]+tsince*b.t5cof[i])
 	}
+
+	nm := b.no[i]
+	em := b.ecco[i]
+	inclm := b.inclo[i]
+	if nm <= 0 {
+		return frames.Vec3{}, false
+	}
+	am := math.Pow(g.XKE/nm, x2o3) * tempa * tempa
+	nm = g.XKE / math.Pow(am, 1.5)
+	em = em - tempe
+	if em >= 1.0 || em < -0.001 {
+		return frames.Vec3{}, false
+	}
+	if em < 1.0e-6 {
+		em = 1.0e-6
+	}
+	mm = mm + b.no[i]*templ
+	xlm := mm + argpm + nodem
+
+	nodem = math.Mod(nodem, astro.TwoPi)
+	argpm = math.Mod(argpm, astro.TwoPi)
+	xlm = math.Mod(xlm, astro.TwoPi)
+	mm = math.Mod(xlm-argpm-nodem, astro.TwoPi)
+	if mm < 0 {
+		mm += astro.TwoPi
+	}
+
+	sinim := math.Sin(inclm)
+	cosim := math.Cos(inclm)
+
+	// Long-period periodics.
+	ep := em
+	xincp := inclm
+	argpp := argpm
+	nodep := nodem
+	mp := mm
+	sinip := sinim
+	cosip := cosim
+
+	axnl := ep * math.Cos(argpp)
+	temp := 1.0 / (am * (1.0 - ep*ep))
+	aynl := ep*math.Sin(argpp) + temp*b.aycof[i]
+	xl := mp + argpp + nodep + temp*b.xlcof[i]*axnl
+
+	// Solve Kepler's equation for E + ω.
+	u := math.Mod(xl-nodep, astro.TwoPi)
+	eo1 := u
+	tem5 := 9999.9
+	var sineo1, coseo1 float64
+	for ktr := 1; math.Abs(tem5) >= 1.0e-12 && ktr <= 10; ktr++ {
+		sineo1 = math.Sin(eo1)
+		coseo1 = math.Cos(eo1)
+		tem5 = 1.0 - coseo1*axnl - sineo1*aynl
+		tem5 = (u - aynl*coseo1 + axnl*sineo1 - eo1) / tem5
+		if math.Abs(tem5) >= 0.95 {
+			tem5 = math.Copysign(0.95, tem5)
+		}
+		eo1 += tem5
+	}
+
+	// Short-period preliminary quantities.
+	ecose := axnl*coseo1 + aynl*sineo1
+	esine := axnl*sineo1 - aynl*coseo1
+	el2 := axnl*axnl + aynl*aynl
+	pl := am * (1.0 - el2)
+	if pl < 0 {
+		return frames.Vec3{}, false
+	}
+	rl := am * (1.0 - ecose)
+	betal := math.Sqrt(1.0 - el2)
+	temp = esine / (1.0 + betal)
+	sinu := am / rl * (sineo1 - aynl - axnl*temp)
+	cosu := am / rl * (coseo1 - axnl + aynl*temp)
+	su := math.Atan2(sinu, cosu)
+	sin2u := (cosu + cosu) * sinu
+	cos2u := 1.0 - 2.0*sinu*sinu
+	temp = 1.0 / pl
+	temp1 := 0.5 * j2 * temp
+	temp2 := temp1 * temp
+
+	// Short-period periodics applied to the position.
+	mrt := rl*(1.0-1.5*temp2*betal*b.con41[i]) + 0.5*temp1*b.x1mth2[i]*cos2u
+	if mrt < 1.0 {
+		return frames.Vec3{}, false // decayed
+	}
+	su = su - 0.25*temp2*b.x7thm1[i]*sin2u
+	xnode := nodep + 1.5*temp2*cosip*sin2u
+	xinc := xincp + 1.5*temp2*cosip*sinip*cos2u
+
+	// Orientation (position components only).
+	sinsu := math.Sin(su)
+	cossu := math.Cos(su)
+	snod := math.Sin(xnode)
+	cnod := math.Cos(xnode)
+	sini := math.Sin(xinc)
+	cosi := math.Cos(xinc)
+	xmx := -snod * cosi
+	xmy := cnod * cosi
+	ux := xmx*sinsu + cnod*cossu
+	uy := xmy*sinsu + snod*cossu
+	uz := sini * sinsu
+
+	return rot.Apply(frames.Vec3{
+		X: mrt * ux * g.RadiusKm,
+		Y: mrt * uy * g.RadiusKm,
+		Z: mrt * uz * g.RadiusKm,
+	}), true
 }

@@ -150,3 +150,30 @@ func TestNewBatchRejectsMixedGravity(t *testing.T) {
 		t.Fatal("NewBatch accepted an empty population")
 	}
 }
+
+// TestPositionECEFScatteredAccess drives the exported single-satellite
+// kernel at per-satellite instants — the refinement pattern, where each
+// bisection probe wants one satellite at one off-grid time — and holds it
+// to the scalar path bit-for-bit, including the invalid flag on decays.
+func TestPositionECEFScatteredAccess(t *testing.T) {
+	props := batchPopulation(t, 60)
+	b := NewBatch(props)
+	epoch := props[0].TLE().Epoch
+	for i, p := range props {
+		// A different instant per satellite, some far enough out to decay
+		// the heavy-drag subset.
+		at := epoch.Add(time.Duration(i) * 41 * time.Minute)
+		jd := astro.JulianDate(at)
+		got, ok := b.PositionECEF(i, jd, frames.NewEarthRotation(jd))
+		st, err := p.PropagateTo(at)
+		if ok != (err == nil) {
+			t.Fatalf("sat %d: kernel ok=%v, scalar err=%v", i, ok, err)
+		}
+		if err != nil {
+			continue
+		}
+		if want := frames.TEMEToECEF(st.PositionKm, jd); !bitsEqual(got, want) {
+			t.Fatalf("sat %d: kernel %v, scalar %v", i, got, want)
+		}
+	}
+}
