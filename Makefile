@@ -27,6 +27,14 @@ serve:
 # so future PRs can compare. Includes the 2-day 10k×500 mega sim, so a
 # full run takes tens of minutes.
 bench:
-	go test -run '^$$' -bench 'BenchmarkFig3aBacklog|BenchmarkFig2StationMap|BenchmarkMegaScale|BenchmarkMegaSim' -benchmem -timeout 60m . \
+	( go test -run '^$$' -bench 'BenchmarkFig3aBacklog|BenchmarkFig2StationMap|BenchmarkMegaScale|BenchmarkMegaSim' -benchmem -timeout 60m . ; \
+	  go test -run '^$$' -bench 'BenchmarkEpochSwap' -benchmem -timeout 30m ./internal/core ) \
 		| tee /dev/stderr \
 		| go run ./tools/benchjson -o BENCH_sim.json
+
+# bench-epoch refreshes only the incremental-replan (epoch swap) benches
+# in BENCH_sim.json, preserving every other recorded result (-merge).
+bench-epoch:
+	go test -run '^$$' -bench 'BenchmarkEpochSwap' -benchmem -timeout 30m ./internal/core \
+		| tee /dev/stderr \
+		| go run ./tools/benchjson -merge -o BENCH_sim.json

@@ -31,16 +31,22 @@ go test -shuffle=on ./...
 echo "== go test -race (parallel pipeline + session + serving layers)"
 # The backend/proto/faultnet trio includes the seeded chunk-dedup chaos
 # equivalence test — reconnect, resume, and replay-dedup all race-checked.
-# serve hosts the HTTP query layer's 40-client mixed-workload storm.
+# serve hosts the HTTP query layer's 40-client mixed-workload storm plus
+# the epoch-swap storm: a background writer publishing world updates
+# while readers and SSE subscribers race the atomic snapshot swap.
 # passes and poscache host the sharded sweep, lockstep refinement, and
 # multi-instant cache fill behind the parallel pass-prediction pipeline.
 go test -race ./internal/passes ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget \
     ./internal/backend ./internal/proto ./internal/faultnet ./internal/serve
 
-echo "== serve smoke (dgs-api + loadgen)"
+echo "== serve smoke (dgs-api + loadgen, live-update round trip)"
 # Boot the API on an ephemeral port over a small world, drive it with the
-# load generator for ~2s (loadgen exits 1 on any transport error, 400, or
-# 5xx), then SIGINT and require a clean graceful-shutdown exit.
+# load generator for ~2s while 4 SSE subscribers hold /v2/plan/stream
+# open and live weather updates POST to /v2/updates every 300ms: loadgen
+# exits 1 on any transport error, 400, 5xx, or if a subscriber misses the
+# initial plan event or every delta (the update -> epoch swap -> SSE
+# delta round trip, end to end). Then SIGINT and require a clean
+# graceful-shutdown exit — which must drain the open streams too.
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
 go build -o "$smokedir/dgs-api" ./cmd/dgs-api
@@ -58,7 +64,7 @@ if [ -z "$addr" ]; then
     cat "$smokedir/api.log" >&2
     exit 1
 fi
-"$smokedir/loadgen" -addr "$addr" -c 8 -d 2s
+"$smokedir/loadgen" -addr "$addr" -c 8 -d 2s -stream 4 -post-update 300ms
 kill -INT "$api_pid"
 wait "$api_pid" || { echo "dgs-api did not shut down cleanly:" >&2; cat "$smokedir/api.log" >&2; exit 1; }
 grep -q "clean shutdown" "$smokedir/api.log"
@@ -82,4 +88,5 @@ echo "== bench trajectory (advisory, recorded BENCH_sim.json)"
 # refresh the file with `make bench` after perf-relevant changes.
 go run ./tools/benchjson -diff -o BENCH_sim.json -bench 'BenchmarkFig3aBacklog/DGS$' -metric ns/op -tol 10 || true
 go run ./tools/benchjson -diff -o BENCH_sim.json -bench 'BenchmarkMega(ScalePasses|ScalePlan|Sim2Day)$' -metric ns/op -tol 10 || true
+go run ./tools/benchjson -diff -o BENCH_sim.json -bench 'BenchmarkEpochSwap' -metric ns/op -tol 10 || true
 echo "CI OK"

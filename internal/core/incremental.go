@@ -1,0 +1,575 @@
+// Incremental replanning for a live world. The planner keeps the full
+// derivation chain of one plan epoch — positions, contact windows,
+// per-slot candidate pairs, per-slot visible edges — and, when the world
+// changes (a TLE refresh, a weather revision, a station joining or
+// leaving), recomputes only the pieces the delta invalidated:
+//
+//   - Window formation has no cross-pair coupling (each (sat, station)
+//     pair's windows depend only on that pair's geometry over the scan
+//     grid), so a one-satellite TLE delta re-scans one satellite against
+//     the network and a station delta re-scans one station against the
+//     constellation; every other pair's windows are reused verbatim.
+//   - Per-slot visible edges depend only on time, never on the evolving
+//     queue state, so only slots whose candidate pairs touch a dirty
+//     satellite or station re-evaluate — and only the dirty pairs within
+//     them; clean edges merge back in unchanged.
+//   - The queue-dependent weighting/matching/drain reduction is cheap and
+//     global (a slot's matching depends on every earlier slot's drain),
+//     so it re-runs in full — it is the same planFromEdges reduction
+//     PlanEpoch uses, which is what makes the incremental plan
+//     byte-identical to a from-scratch rebuild on the new world.
+
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"time"
+
+	"dgs/internal/linkbudget"
+	"dgs/internal/orbit"
+	"dgs/internal/passes"
+	"dgs/internal/pool"
+	"dgs/internal/poscache"
+	"dgs/internal/station"
+	"dgs/internal/weather"
+)
+
+// IncrementalConfig fixes the planning problem an IncrementalPlanner
+// maintains: the plan anchor and horizon never move (deltas revise the
+// world, not the question), which is what keeps reused windows and edges
+// valid across replans.
+type IncrementalConfig struct {
+	// Start anchors the plan; Horizon and Slot shape it (Slot defaults to
+	// one minute, Horizon to one hour).
+	Start   time.Time
+	Horizon time.Duration
+	Slot    time.Duration
+	// GenBitsPerSec is the capture refill rate of the modeled queues.
+	GenBitsPerSec float64
+	// Radio, Forecast, Value, MaxRangeKm, Workers, FullScan mirror the
+	// Scheduler fields of the same names.
+	Radio      linkbudget.Radio
+	Forecast   *weather.Forecast
+	Value      ValueFunc
+	MaxRangeKm float64
+	Workers    int
+	FullScan   bool
+}
+
+// IncrementalPlanner maintains a plan and the state needed to revise it
+// cheaply under world deltas. Not safe for concurrent use: the serving
+// layer's store serializes writers and publishes finished plans.
+type IncrementalPlanner struct {
+	cfg   IncrementalConfig
+	n     int // slots in the horizon
+	end   time.Time
+	sched *Scheduler
+	pcfg  passes.Config
+
+	sats      []SatSnapshot   // private copy; Prop patched by UpdateTLE
+	net       station.Network // copy-on-write: mutations clone the slice
+	positions *poscache.Cache // private, per-satellite patched
+
+	windows passes.Windows  // current merged window set over [Start, end)
+	pairs   [][]int32       // per-slot packed keys from windows
+	edges   [][]VisibleEdge // per-slot visible edges
+	plan    *Plan
+
+	// Replan scratch, reused across replans: per-slot pair-merge buffers,
+	// per-slot freshly opened keys, the flat dirty-pair mask (indexed by
+	// packed key; rebuilt per replan from the dirty sets), fresh-window
+	// and merged-window buffers, and the dirty-slot list.
+	spare      [][]int32
+	added      [][]int32
+	dirtyMask  []bool
+	freshBuf   passes.Windows
+	winScratch passes.Windows
+	slotBuf    []int
+
+	// Pending invalidation, cleared by Replan.
+	dirtySats     map[int]bool
+	dirtyStations map[int]bool
+	weatherDirty  bool
+	netResized    bool // station count changed: packed keys renumbered
+
+	lastChanged int  // slots re-evaluated by the last Replan
+	lastIncr    bool // last Replan took the incremental path (not rebuildAll)
+}
+
+// NewIncrementalPlanner builds the planner and computes the initial plan
+// from scratch. The snapshot and network slices are copied; propagators
+// and stations are shared read-only.
+func NewIncrementalPlanner(sats []SatSnapshot, net station.Network, cfg IncrementalConfig) (*IncrementalPlanner, error) {
+	if cfg.Slot <= 0 {
+		cfg.Slot = time.Minute
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = time.Hour
+	}
+	n := int(cfg.Horizon / cfg.Slot)
+	if n < 1 {
+		n = 1
+	}
+	ip := &IncrementalPlanner{
+		cfg:           cfg,
+		n:             n,
+		end:           cfg.Start.Add(time.Duration(n) * cfg.Slot),
+		sats:          slices.Clone(sats),
+		net:           slices.Clone(net),
+		dirtySats:     make(map[int]bool),
+		dirtyStations: make(map[int]bool),
+	}
+	props := make([]orbit.Propagator, len(sats))
+	for i := range sats {
+		props[i] = sats[i].Prop
+	}
+	ip.positions = poscache.New(props)
+	ip.positions.Workers = cfg.Workers
+	ip.sched = &Scheduler{
+		Radio:      cfg.Radio,
+		Stations:   ip.net,
+		Value:      cfg.Value,
+		Forecast:   cfg.Forecast,
+		MaxRangeKm: cfg.MaxRangeKm,
+		Workers:    cfg.Workers,
+		Positions:  ip.positions,
+		FullScan:   cfg.FullScan,
+	}
+	ip.pcfg = passes.Config{
+		CoarseStep: coarseStepFor(cfg.Slot),
+		Tol:        coarseStepFor(cfg.Slot),
+		MaxRangeKm: ip.sched.maxRange(),
+		FullScan:   cfg.FullScan,
+		Workers:    cfg.Workers,
+	}
+	if err := ip.pcfg.Validate(cfg.Slot); err != nil {
+		return nil, err
+	}
+	ip.rebuildAll()
+	return ip, nil
+}
+
+// Plan returns the current plan (never nil after construction).
+func (ip *IncrementalPlanner) Plan() *Plan { return ip.plan }
+
+// Stations returns the live network, including deactivated (removed)
+// stations, which keep their index with an impossible elevation mask so
+// every index in past and future plans stays stable. Callers must treat
+// it as read-only; mutations go through AddStation/RemoveStation.
+func (ip *IncrementalPlanner) Stations() station.Network { return ip.net }
+
+// Sats returns the number of satellites.
+func (ip *IncrementalPlanner) Sats() int { return len(ip.sats) }
+
+// Snapshots returns the current queue-state snapshots (read-only): the
+// exact slice a from-scratch PlanEpoch on the revised world would be
+// handed for the differential comparison.
+func (ip *IncrementalPlanner) Snapshots() []SatSnapshot { return ip.sats }
+
+// LastChangedSlots reports how many slots the last Replan re-evaluated
+// (n after the initial build or a full invalidation).
+func (ip *IncrementalPlanner) LastChangedSlots() int { return ip.lastChanged }
+
+// LastReplanIncremental reports whether the last Replan took the
+// incremental path — patched windows and edges — rather than a full
+// rebuild (the initial build, or a network resize).
+func (ip *IncrementalPlanner) LastReplanIncremental() bool { return ip.lastIncr }
+
+// Pending reports whether deltas have been applied since the last Replan.
+func (ip *IncrementalPlanner) Pending() bool {
+	return ip.weatherDirty || ip.netResized || len(ip.dirtySats) > 0 || len(ip.dirtyStations) > 0
+}
+
+// UpdateTLE replaces satellite i's propagator (a TLE refresh). The
+// position cache is patched per-instant; the satellite's windows and the
+// slots they touch are invalidated for the next Replan.
+func (ip *IncrementalPlanner) UpdateTLE(i int, prop orbit.Propagator) error {
+	if i < 0 || i >= len(ip.sats) {
+		return fmt.Errorf("core: satellite %d out of range [0, %d)", i, len(ip.sats))
+	}
+	if prop == nil {
+		return fmt.Errorf("core: satellite %d: nil propagator", i)
+	}
+	ip.sats[i].Prop = prop
+	ip.positions.ReplaceProp(i, prop)
+	ip.dirtySats[i] = true
+	return nil
+}
+
+// SetForecast replaces the weather forecast (a forecast revision). The
+// geometry — windows and candidate pairs — is weather-independent and
+// survives; every slot's edge rates are invalidated.
+func (ip *IncrementalPlanner) SetForecast(fc *weather.Forecast) {
+	ip.cfg.Forecast = fc
+	ip.sched.SetForecast(fc)
+	ip.weatherDirty = true
+}
+
+// AddStation appends a station to the network and returns its index. The
+// station's ID must equal that index (Network.Validate's invariant). The
+// network slice is cloned, never mutated in place, so previously
+// published views of the old network stay stable.
+func (ip *IncrementalPlanner) AddStation(st *station.Station) (int, error) {
+	if st == nil {
+		return 0, fmt.Errorf("core: nil station")
+	}
+	j := len(ip.net)
+	if st.ID != j {
+		return 0, fmt.Errorf("core: station ID %d, want next index %d", st.ID, j)
+	}
+	if st.Terminal.DishDiameterM <= 0 {
+		return 0, fmt.Errorf("core: station %d has no dish", j)
+	}
+	ip.net = append(slices.Clone(ip.net), st)
+	ip.sched.SetStations(ip.net)
+	ip.dirtyStations[j] = true
+	ip.netResized = true
+	return j, nil
+}
+
+// RemoveStation deactivates station j: it keeps its index (so satellite
+// and station indices in every plan stay comparable across epochs) but
+// gets an impossible elevation mask — no satellite is ever above it, so
+// its windows, edges, and assignments all vanish. Both the incremental
+// path and a from-scratch rebuild see the same deactivated network,
+// which keeps them byte-identical. Removing a removed station is a no-op.
+func (ip *IncrementalPlanner) RemoveStation(j int) error {
+	if j < 0 || j >= len(ip.net) {
+		return fmt.Errorf("core: station %d out of range [0, %d)", j, len(ip.net))
+	}
+	if ip.net[j].MinElevationRad >= math.Pi {
+		return nil
+	}
+	dead := *ip.net[j]
+	dead.MinElevationRad = math.Pi
+	ip.net = slices.Clone(ip.net)
+	ip.net[j] = &dead
+	ip.sched.SetStations(ip.net)
+	ip.dirtyStations[j] = true
+	return nil
+}
+
+// Replan applies the pending invalidations and returns the revised plan.
+// With no pending deltas the current plan is returned unchanged.
+func (ip *IncrementalPlanner) Replan() *Plan {
+	if !ip.Pending() {
+		ip.lastChanged = 0
+		ip.lastIncr = false
+		return ip.plan
+	}
+	// A resized network renumbers every packed pair key and rebuilds the
+	// attenuation memo the cached edges' rates came from; take the full
+	// rebuild path rather than diffing across incompatible keyspaces.
+	if ip.netResized {
+		ip.rebuildAll()
+		ip.clearPending()
+		return ip.plan
+	}
+
+	ip.buildDirtyMask()
+	if len(ip.dirtySats) > 0 || len(ip.dirtyStations) > 0 {
+		ip.binAdded(ip.patchWindows())
+	} else {
+		ip.clearAdded()
+	}
+
+	// A slot needs re-evaluation when a dirty pair appears in its old
+	// candidate set or a fresh window opened one there (covers windows
+	// that opened, closed, or moved) — or everywhere, when the weather
+	// revision staled every rate. Dirty slots get their candidate set
+	// patched in place: dirty keys out, freshly opened keys merged in.
+	dirtySlots := ip.slotBuf[:0]
+	for k := 0; k < ip.n; k++ {
+		removed := ip.anyMaskedKey(ip.pairs[k])
+		if removed || len(ip.added[k]) > 0 {
+			ip.refreshPairs(k)
+		} else if !ip.weatherDirty {
+			continue
+		}
+		dirtySlots = append(dirtySlots, k)
+	}
+	ip.slotBuf = dirtySlots
+	ip.patchEdges(dirtySlots)
+	ip.lastChanged = len(dirtySlots)
+	ip.lastIncr = true
+	ip.clearPending()
+	ip.plan = ip.sched.planFromEdges(ip.sats, ip.cfg.Start, ip.cfg.Slot, ip.edges, ip.cfg.GenBitsPerSec)
+	return ip.plan
+}
+
+func (ip *IncrementalPlanner) clearPending() {
+	clear(ip.dirtySats)
+	clear(ip.dirtyStations)
+	ip.weatherDirty = false
+	ip.netResized = false
+}
+
+// rebuildAll recomputes the whole chain from scratch: full window scan,
+// binning, every slot's edges, and the reduction.
+func (ip *IncrementalPlanner) rebuildAll() {
+	pred := passes.New(ip.positions, ip.net, ip.pcfg)
+	ip.windows = pred.WindowsBetween(ip.windows[:0], ip.cfg.Start, ip.end)
+	ip.pairs = ip.sched.binWindows(ip.pairs, ip.windows, ip.cfg.Start, ip.n, ip.cfg.Slot)
+	if ip.edges == nil {
+		ip.edges = make([][]VisibleEdge, ip.n)
+		ip.spare = make([][]int32, ip.n)
+		ip.added = make([][]int32, ip.n)
+	}
+	all := make([]int, ip.n)
+	for k := range all {
+		all[k] = k
+	}
+	ip.recomputeSlots(all)
+	ip.lastChanged = ip.n
+	ip.lastIncr = false
+	ip.plan = ip.sched.planFromEdges(ip.sats, ip.cfg.Start, ip.cfg.Slot, ip.edges, ip.cfg.GenBitsPerSec)
+}
+
+// buildDirtyMask flattens the dirty sets into a per-packed-key mask so
+// the hot loops test dirtiness with one indexed load instead of two map
+// probes. Only valid while the keyspace is stable (netResized forces the
+// full rebuild instead).
+func (ip *IncrementalPlanner) buildDirtyMask() {
+	nGs := len(ip.net)
+	size := len(ip.sats) * nGs
+	if cap(ip.dirtyMask) < size {
+		ip.dirtyMask = make([]bool, size)
+	} else {
+		ip.dirtyMask = ip.dirtyMask[:size]
+		clear(ip.dirtyMask)
+	}
+	for i := range ip.dirtySats {
+		base := i * nGs
+		for j := 0; j < nGs; j++ {
+			ip.dirtyMask[base+j] = true
+		}
+	}
+	for j := range ip.dirtyStations {
+		for i := 0; i < len(ip.sats); i++ {
+			ip.dirtyMask[i*nGs+j] = true
+		}
+	}
+}
+
+func (ip *IncrementalPlanner) anyMaskedKey(keys []int32) bool {
+	for _, key := range keys {
+		if ip.dirtyMask[key] {
+			return true
+		}
+	}
+	return false
+}
+
+// binAdded bins the freshly scanned windows (all of dirty pairs) onto the
+// slot grid, per slot sorted and deduplicated — the keys Replan merges
+// back into each slot's candidate set.
+func (ip *IncrementalPlanner) binAdded(fresh passes.Windows) {
+	ip.clearAdded()
+	nGs := len(ip.net)
+	start, slotDur := ip.cfg.Start, ip.cfg.Slot
+	for _, w := range fresh {
+		key := int32(w.Sat*nGs + w.Station)
+		k0 := 0
+		if w.Start.After(start) {
+			k0 = int((w.Start.Sub(start) + slotDur - 1) / slotDur)
+		}
+		k1 := ip.n - 1
+		if w.End.Before(ip.end) {
+			if v := int(w.End.Sub(start) / slotDur); v < k1 {
+				k1 = v
+			}
+		}
+		for k := k0; k <= k1; k++ {
+			ip.added[k] = append(ip.added[k], key)
+		}
+	}
+	for k := range ip.added {
+		slices.Sort(ip.added[k])
+		ip.added[k] = slices.Compact(ip.added[k])
+	}
+}
+
+func (ip *IncrementalPlanner) clearAdded() {
+	for k := range ip.added {
+		ip.added[k] = ip.added[k][:0]
+	}
+}
+
+// refreshPairs rebuilds slot k's candidate set: the clean survivors of
+// the old set merged with the freshly opened keys, in sorted order. The
+// two are disjoint — survivors are clean by construction, fresh keys all
+// dirty — so a two-pointer merge suffices.
+func (ip *IncrementalPlanner) refreshPairs(k int) {
+	old, add := ip.pairs[k], ip.added[k]
+	out := ip.spare[k][:0]
+	ai := 0
+	for _, key := range old {
+		if ip.dirtyMask[key] {
+			continue
+		}
+		for ai < len(add) && add[ai] < key {
+			out = append(out, add[ai])
+			ai++
+		}
+		out = append(out, key)
+	}
+	out = append(out, add[ai:]...)
+	ip.pairs[k], ip.spare[k] = out, old[:0]
+}
+
+// patchWindows rebuilds the window set for the dirty satellites and
+// stations only, and returns the freshly scanned windows: clean pairs
+// keep their windows verbatim; each dirty satellite is re-scanned
+// against the whole network through a single-satellite cache, and each
+// dirty station against the whole constellation through the shared
+// (already patched) cache. Per-pair window formation is independent, and
+// every mini-scan covers the same [Start, end) grid with the same
+// config, so the union is exactly what a full re-scan would produce.
+func (ip *IncrementalPlanner) patchWindows() passes.Windows {
+	fresh := ip.freshBuf[:0]
+	for _, i := range sortedKeys(ip.dirtySats) {
+		mini := poscache.New([]orbit.Propagator{ip.sats[i].Prop})
+		mini.Workers = ip.cfg.Workers
+		pred := passes.New(mini, ip.net, ip.pcfg)
+		for _, w := range pred.WindowsBetween(nil, ip.cfg.Start, ip.end) {
+			w.Sat = i
+			fresh = append(fresh, w)
+		}
+	}
+	for _, j := range sortedKeys(ip.dirtyStations) {
+		pred := passes.New(ip.positions, station.Network{ip.net[j]}, ip.pcfg)
+		for _, w := range pred.WindowsBetween(nil, ip.cfg.Start, ip.end) {
+			if ip.dirtySats[w.Sat] {
+				continue // already owned by that satellite's re-scan
+			}
+			w.Station = j
+			fresh = append(fresh, w)
+		}
+	}
+	ip.freshBuf = fresh
+
+	// Maintain the merged set in canonical (Start, Sat, Station) order by
+	// merging the kept subsequence (already ordered) with the sorted
+	// fresh windows — a linear pass instead of re-sorting the world.
+	cmp := func(a, b passes.Window) int {
+		if c := a.Start.Compare(b.Start); c != 0 {
+			return c
+		}
+		if a.Sat != b.Sat {
+			return a.Sat - b.Sat
+		}
+		return a.Station - b.Station
+	}
+	slices.SortFunc(fresh, cmp)
+	merged := ip.winScratch[:0]
+	fi := 0
+	for _, w := range ip.windows {
+		if ip.dirtySats[w.Sat] || ip.dirtyStations[w.Station] {
+			continue
+		}
+		for fi < len(fresh) && cmp(fresh[fi], w) < 0 {
+			merged = append(merged, fresh[fi])
+			fi++
+		}
+		merged = append(merged, w)
+	}
+	merged = append(merged, fresh[fi:]...)
+	ip.windows, ip.winScratch = merged, ip.windows[:0]
+	return fresh
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// patchEdges re-evaluates the dirty slots' edges. Under a weather
+// revision every pair's rate is stale, so dirty slots recompute in full;
+// under satellite/station deltas only the dirty pairs re-evaluate, and
+// the surviving clean edges merge back in packed-key order — the exact
+// order a full visibilityPairs pass emits.
+func (ip *IncrementalPlanner) patchEdges(dirtySlots []int) {
+	workers := ip.sched.workers()
+	if workers > len(dirtySlots) {
+		workers = len(dirtySlots)
+	}
+	if workers == 0 {
+		return
+	}
+	ip.sched.stationIndex()
+	ip.sched.ensureCondScratch(workers)
+	start, slotDur := ip.cfg.Start, ip.cfg.Slot
+	full := ip.weatherDirty
+	pool.ForEachWorker(workers, len(dirtySlots), func(w, x int) {
+		k := dirtySlots[x]
+		t := start.Add(time.Duration(k) * slotDur)
+		cs := &ip.sched.condScr[w]
+		if full {
+			ip.edges[k] = ip.sched.visibilityPairs(nil, ip.positions, t, t.Sub(start), ip.pairs[k], cs)
+			return
+		}
+		// The dirty keys of the patched candidate set are exactly the
+		// freshly opened ones (closed dirty keys were already dropped).
+		fresh := ip.sched.visibilityPairs(nil, ip.positions, t, t.Sub(start), ip.added[k], cs)
+		ip.edges[k] = ip.mergeEdges(ip.edges[k], fresh)
+	})
+}
+
+// recomputeSlots evaluates the listed slots' edges in full from their
+// candidate pairs.
+func (ip *IncrementalPlanner) recomputeSlots(slots []int) {
+	workers := ip.sched.workers()
+	if workers > len(slots) {
+		workers = len(slots)
+	}
+	if workers == 0 {
+		return
+	}
+	ip.sched.stationIndex()
+	ip.sched.ensureCondScratch(workers)
+	start, slotDur := ip.cfg.Start, ip.cfg.Slot
+	pool.ForEachWorker(workers, len(slots), func(w, x int) {
+		k := slots[x]
+		t := start.Add(time.Duration(k) * slotDur)
+		ip.edges[k] = ip.sched.visibilityPairs(nil, ip.positions, t, t.Sub(start), ip.pairs[k], &ip.sched.condScr[w])
+	})
+}
+
+// mergeEdges merges the clean survivors of old (dirty pairs dropped) with
+// the freshly evaluated dirty-pair edges, both satellite-major with
+// stations ascending, into a new slice in the same canonical order.
+func (ip *IncrementalPlanner) mergeEdges(old, fresh []VisibleEdge) []VisibleEdge {
+	nGs := len(ip.net)
+	out := make([]VisibleEdge, 0, len(old)+len(fresh))
+	oi, fi := 0, 0
+	for oi < len(old) && ip.dirtyMask[old[oi].Sat*nGs+old[oi].Station] {
+		oi++
+	}
+	for oi < len(old) && fi < len(fresh) {
+		ok := old[oi].Sat*nGs + old[oi].Station
+		fk := fresh[fi].Sat*nGs + fresh[fi].Station
+		if ok < fk {
+			out = append(out, old[oi])
+			oi++
+		} else {
+			out = append(out, fresh[fi])
+			fi++
+		}
+		for oi < len(old) && ip.dirtyMask[old[oi].Sat*nGs+old[oi].Station] {
+			oi++
+		}
+	}
+	out = append(out, fresh[fi:]...)
+	for ; oi < len(old); oi++ {
+		if !ip.dirtyMask[old[oi].Sat*nGs+old[oi].Station] {
+			out = append(out, old[oi])
+		}
+	}
+	return out
+}

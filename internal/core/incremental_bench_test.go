@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dgs/internal/dataset"
+	"dgs/internal/linkbudget"
+	"dgs/internal/weather"
+)
+
+// benchWalkerPlanner builds the Walker-scale (600 × 150) incremental
+// planner plus a second element set to flip TLEs against.
+func benchWalkerPlanner(b *testing.B, workers int) (*IncrementalPlanner, IncrementalConfig, []SatSnapshot) {
+	b.Helper()
+	els := dataset.Walker(dataset.WalkerOptions{T: 600, Epoch: epoch})
+	refreshed := dataset.Walker(dataset.WalkerOptions{T: 600, AltKm: 557, Epoch: epoch.Add(10 * time.Minute)})
+	net := dataset.Stations(dataset.StationOptions{N: 150, Seed: 3})
+	cfg := IncrementalConfig{
+		Start:         epoch,
+		Horizon:       time.Hour,
+		Slot:          time.Minute,
+		GenBitsPerSec: 100 * 8e9 / 86400.0,
+		Radio:         linkbudget.DefaultRadio(),
+		Forecast:      weather.NewForecast(weather.NewField(7), 0.3),
+		Workers:       workers,
+	}
+	ip, err := NewIncrementalPlanner(snapsFrom(propsFrom(b, els)), net, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ip, cfg, snapsFrom(propsFrom(b, refreshed))
+}
+
+// BenchmarkEpochSwap measures the live-world epoch swap: one satellite's
+// TLE is refreshed and the plan is revised incrementally. This is the
+// per-delta cost the serving layer pays on POST /v2/updates.
+func BenchmarkEpochSwap(b *testing.B) {
+	ip, _, alt := benchWalkerPlanner(b, 0)
+	orig := ip.Snapshots()[17].Prop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate between the two element sets so every iteration
+		// performs a real refresh, never a no-op.
+		next := alt[17].Prop
+		if i%2 == 1 {
+			next = orig
+		}
+		if err := ip.UpdateTLE(17, next); err != nil {
+			b.Fatal(err)
+		}
+		ip.Replan()
+	}
+}
+
+// BenchmarkEpochSwapFromScratch is the baseline the incremental path is
+// judged against: the same one-satellite refresh followed by a complete
+// from-scratch PlanEpoch on a fresh scheduler.
+func BenchmarkEpochSwapFromScratch(b *testing.B) {
+	ip, cfg, alt := benchWalkerPlanner(b, 0)
+	sats := append([]SatSnapshot(nil), ip.Snapshots()...)
+	orig := sats[17].Prop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := alt[17].Prop
+		if i%2 == 1 {
+			next = orig
+		}
+		sats[17].Prop = next
+		sched := &Scheduler{
+			Radio:    cfg.Radio,
+			Stations: ip.Stations(),
+			Forecast: cfg.Forecast,
+			Workers:  cfg.Workers,
+		}
+		sched.PlanEpoch(sats, cfg.Start, cfg.Horizon, cfg.Slot, cfg.GenBitsPerSec)
+	}
+}

@@ -235,10 +235,6 @@ func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slot
 	if n < 1 {
 		n = 1
 	}
-	// Work on a copy: planning must not mutate the caller's snapshots.
-	work := make([]SatSnapshot, len(sats))
-	copy(work, sats)
-
 	// Resolve lazily initialized shared state once, then fan out. The
 	// clock only moves forward, so instants before this epoch can never
 	// be requested again: prune them from the shared position cache.
@@ -246,7 +242,6 @@ func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slot
 	positions.Prune(start)
 	s.pruneForecast(start)
 	s.stationIndex()
-	memo, _ := s.rateMemo()
 
 	var pairsBySlot [][]int32
 	if !s.UseSweep {
@@ -257,15 +252,9 @@ func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slot
 	if workers > n {
 		workers = n
 	}
-	for len(s.condScr) < workers {
-		s.condScr = append(s.condScr, condScratch{})
-	}
-	for w := 0; w < workers; w++ {
-		if s.condScr[w].view == nil {
-			s.condScr[w].view = memo.View()
-		}
-	}
+	s.ensureCondScratch(workers)
 	bufBySlot := make([]*edgeBuf, n)
+	edgesBySlot := make([][]VisibleEdge, n)
 	pool.ForEachWorker(workers, n, func(w, k int) {
 		t := start.Add(time.Duration(k) * slotDur)
 		cs := &s.condScr[w]
@@ -276,23 +265,57 @@ func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slot
 			eb.e = s.visibilitySweep(eb.e[:0], sats, positions, t, t.Sub(start), cs)
 		}
 		bufBySlot[k] = eb
+		edgesBySlot[k] = eb.e
 	})
+
+	plan := s.planFromEdges(sats, start, slotDur, edgesBySlot, genBitsPerSec)
+	for _, eb := range bufBySlot {
+		edgeBufPool.Put(eb)
+	}
+	return plan
+}
+
+// ensureCondScratch sizes the per-worker condition scratch for a fan-out
+// of the given width, giving each worker a private front cache over the
+// shared attenuation memo.
+func (s *Scheduler) ensureCondScratch(workers int) {
+	memo, _ := s.rateMemo()
+	for len(s.condScr) < workers {
+		s.condScr = append(s.condScr, condScratch{})
+	}
+	for w := 0; w < workers; w++ {
+		if s.condScr[w].view == nil {
+			s.condScr[w].view = memo.View()
+		}
+	}
+}
+
+// planFromEdges is the queue-dependent sequential reduction behind every
+// plan: per-slot graph weighting, matching, and optimistic queue drain
+// over precomputed visible-edge lists. The per-slot edges depend only on
+// time (never on the evolving queue state), which is what lets PlanEpoch
+// fan their computation out — and lets the incremental planner patch only
+// the slots a world delta touched and re-run this reduction unchanged,
+// byte-identical to a from-scratch rebuild.
+func (s *Scheduler) planFromEdges(sats []SatSnapshot, start time.Time, slotDur time.Duration, edgesBySlot [][]VisibleEdge, genBitsPerSec float64) *Plan {
+	// Work on a copy: planning must not mutate the caller's snapshots.
+	work := make([]SatSnapshot, len(sats))
+	copy(work, sats)
 
 	s.nextVersion++
 	plan := &Plan{
 		Version: s.nextVersion,
 		Issued:  start,
 		SlotDur: slotDur,
-		Slots:   make([]Slot, 0, n),
+		Slots:   make([]Slot, 0, len(edgesBySlot)),
 	}
 	if s.planG == nil {
 		s.planG = match.NewGraph(0, 0)
 	}
 	s.matchScr.Warm = true
-	for k := 0; k < n; k++ {
+	for k := range edgesBySlot {
 		t := start.Add(time.Duration(k) * slotDur)
-		eb := bufBySlot[k]
-		edges := eb.e
+		edges := edgesBySlot[k]
 		g := s.planG
 		g.Reset(len(work), len(s.Stations))
 		for j, gs := range s.Stations {
@@ -340,7 +363,6 @@ func (s *Scheduler) PlanEpoch(sats []SatSnapshot, start time.Time, horizon, slot
 			}
 		}
 		plan.Slots = append(plan.Slots, slot)
-		edgeBufPool.Put(eb)
 	}
 	plan.BuildIndex()
 	return plan

@@ -133,6 +133,36 @@ func (s *Scheduler) PlanVersion() int { return s.nextVersion }
 // monotonic across a resume; any other use risks duplicate versions.
 func (s *Scheduler) SetPlanVersion(v int) { s.nextVersion = v }
 
+// SetForecast replaces the weather forecast and drops every cached
+// per-instant forecast component (they sample the old fields). The
+// attenuation memo survives: its entries are pure functions of the
+// quantized conditions, so new weather simply probes new keys.
+func (s *Scheduler) SetForecast(fc *weather.Forecast) {
+	s.Forecast = fc
+	s.fcMu.Lock()
+	s.fcCache = nil
+	s.fcMu.Unlock()
+}
+
+// SetStations replaces the ground network and drops every lazily built
+// structure derived from it: the spatial cell index and per-station
+// geometry, the attenuation memo's path registrations, the per-worker
+// memo views fronting it, cached forecast components (sized to the old
+// station count), and the pass predictor (bound to the old network).
+// The caller must not be running PlanEpoch concurrently.
+func (s *Scheduler) SetStations(net station.Network) {
+	s.Stations = net
+	s.mu.Lock()
+	s.grid, s.stGeo = nil, nil
+	s.memo, s.memoPath = nil, nil
+	s.mu.Unlock()
+	s.fcMu.Lock()
+	s.fcCache = nil
+	s.fcMu.Unlock()
+	s.pred, s.predPos, s.predStep = nil, nil, 0
+	s.condScr = nil
+}
+
 // stationGeom is the fixed per-station geometry the visibility inner loop
 // needs: everything here derives from the station location only, so it is
 // computed once and shared read-only across the worker pool. Mutable

@@ -55,20 +55,30 @@ func (s *Scheduler) predictPairs(positions *poscache.Cache, start time.Time, n i
 	s.pred.Prune(start)
 	end := start.Add(time.Duration(n) * slotDur)
 	s.winBuf = s.pred.WindowsBetween(s.winBuf[:0], start, end)
+	s.slotPairs = s.binWindows(s.slotPairs, s.winBuf, start, n, slotDur)
+	return s.slotPairs
+}
 
-	if cap(s.slotPairs) >= n {
-		s.slotPairs = s.slotPairs[:n]
+// binWindows bins contact windows onto the slot grid: per slot, the
+// sorted deduplicated packed (sat·nGs + station) keys whose windows cover
+// the slot instant. dst is reused when it has capacity (per-slot slices
+// are truncated and refilled). The incremental planner calls it only on
+// full rebuilds; incremental replans patch the binning per slot instead.
+func (s *Scheduler) binWindows(dst [][]int32, wins passes.Windows, start time.Time, n int, slotDur time.Duration) [][]int32 {
+	if cap(dst) >= n {
+		dst = dst[:n]
 	} else {
 		sp := make([][]int32, n)
-		copy(sp, s.slotPairs)
-		s.slotPairs = sp
+		copy(sp, dst)
+		dst = sp
 	}
-	pairs := s.slotPairs
+	pairs := dst
 	for k := range pairs {
 		pairs[k] = pairs[k][:0]
 	}
+	end := start.Add(time.Duration(n) * slotDur)
 	nGs := len(s.Stations)
-	for _, w := range s.winBuf {
+	for _, w := range wins {
 		key := int32(w.Sat*nGs + w.Station)
 		k0 := 0
 		if w.Start.After(start) {

@@ -242,6 +242,55 @@ func (c *Cache) SatAtWith(i int, t time.Time, jd float64, rot frames.EarthRotati
 	return Entry{Pos: rot.Apply(st.PositionKm), OK: true}
 }
 
+// ReplaceProp swaps satellite i's propagator — the live-world TLE-refresh
+// path. Every cached instant is patched in place: entry i is recomputed
+// under the new elements while the other satellites' entries are reused
+// untouched, so a one-satellite delta costs one propagation per cached
+// instant instead of a population-wide refill. Patched slices are fresh
+// copies, never mutations of published ones: readers holding a slice from
+// At keep a consistent pre-swap view.
+//
+// The results are bit-identical to a cache rebuilt from the updated
+// propagator slice (sgp4.Batch.Replace copies exactly the coefficients
+// NewBatch flattens; a non-SGP4 or gravity-mismatched replacement drops
+// the batch and both paths fall back to the scalar propagator).
+func (c *Cache) ReplaceProp(i int, p orbit.Propagator) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.props) {
+		return
+	}
+	c.props[i] = p
+	if c.batch != nil {
+		sp, ok := p.(*sgp4.Propagator)
+		if !ok || !c.batch.Replace(i, sp) {
+			c.batch = nil
+		}
+	}
+	for key, entries := range c.slots {
+		t := time.Unix(0, key).UTC()
+		patched := make([]Entry, len(entries))
+		copy(patched, entries)
+		patched[i] = c.computeOne(i, t)
+		c.slots[key] = patched
+	}
+}
+
+// computeOne propagates a single satellite at t on whichever path the
+// cache is using (bit-identical either way). Callers hold c.mu.
+func (c *Cache) computeOne(i int, t time.Time) Entry {
+	jd := astro.JulianDate(t)
+	if c.batch != nil && !c.NoBatch {
+		pos, ok := c.batch.PositionECEF(i, jd, frames.NewEarthRotation(jd))
+		return Entry{Pos: pos, OK: ok}
+	}
+	st, err := c.props[i].PropagateTo(t)
+	if err != nil {
+		return Entry{}
+	}
+	return Entry{Pos: frames.TEMEToECEF(st.PositionKm, jd), OK: true}
+}
+
 // Prune drops every cached instant strictly before t. The simulator calls
 // it as the clock advances; planning only ever looks forward.
 func (c *Cache) Prune(t time.Time) {

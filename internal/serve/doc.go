@@ -1,29 +1,87 @@
 // Package serve is the ground-station-as-a-service query layer: a
 // long-running HTTP JSON API over the repo's pass predictor, link-budget
-// chain, and planning scheduler. It loads a world — dataset population,
-// element sets, weather, station network — into an immutable read-optimized
-// Snapshot and answers, at scale:
+// chain, and planning scheduler. The world — dataset population, element
+// sets, weather, station network — lives in a versioned Store: an
+// immutable World snapshot per epoch, swapped atomically when updates
+// land, so readers always see one consistent world and writers never
+// block them.
+//
+// # v1 — stateless queries (deprecated, frozen)
 //
 //	GET /v1/passes?sat=&station=&from=&hours=   contact windows
 //	GET /v1/linkbudget?sat=&station=&t=&lead=   SNR / MODCOD / rate / attenuation
-//	GET /v1/plan?from=&hours=&slot=             a PlanEpoch schedule
-//	GET /v1/healthz                             liveness + world shape
-//	GET /debug/vars                             per-endpoint counters + latency
+//	GET /v1/plan?from=&hours=&slot=             an ad-hoc PlanEpoch schedule
+//	GET /v1/healthz                             liveness + world shape + serving epoch
 //
-// The layer is built for load, not just correctness. The request path for
-// cacheable queries is:
+// v1 predates the live world and is kept for existing clients: its
+// success bodies are frozen byte for byte (pinned by TestV1WireFrozen)
+// and answer from the current epoch. New clients should use v2 — v1
+// gets no new fields.
+//
+// # v2 — the versioned live world
+//
+//	GET  /v2/plan          the live plan, epoch-tagged, ETag = "<epoch>"
+//	GET  /v2/passes        contact windows, epoch-tagged + revalidatable
+//	POST /v2/updates       delta ingestion: TLEs, weather, station membership
+//	GET  /v2/plan/stream   SSE: full plan on connect, one delta per epoch swap
+//	GET  /v2/readyz        503 until the first world is built
+//	GET  /debug/vars       per-endpoint counters, epoch, stream subscribers
+//
+// Every response served from a world carries an X-World-Epoch header; v2
+// bodies embed the epoch too, so a client can detect a swap between two
+// requests. /v2/plan and /v2/passes double as conditional resources: the
+// epoch is the ETag, and If-None-Match with the current epoch returns
+// 304 with no body — a cheap poll loop for clients that do not stream.
+//
+// POST /v2/updates accepts any combination of element refreshes (by
+// satellite index or catalog number), a weather revision, and station
+// joins/leaves, validated in full before any mutation and applied as ONE
+// new epoch. The incremental planner re-evaluates only the plan slots
+// the delta can reach (changed satellites' visibility windows, removed
+// stations' assignments); the differential tests prove the patched plan
+// byte-identical to planning from scratch. The previous World is retired,
+// not torn down: in-flight readers drain off it at their own pace
+// (observable via worlds_retired in /debug/vars).
+//
+// /v2/plan/stream is server-sent events. On connect the subscriber gets
+// the full current plan, then one delta per epoch swap:
+//
+//	event: plan          event: delta
+//	id: 3                id: 4
+//	data: {"epoch":3,..} data: {"epoch":4,"changed":[..],"removed":[..]}
+//
+// The event id is the world epoch, so a reconnecting client knows
+// exactly where it resumed. A subscriber that stops reading is evicted
+// (its channel closed) rather than allowed to stall the writer; closing
+// the store ends every stream, which is how graceful shutdown drains
+// long-lived connections.
+//
+// Errors use one envelope across both versions:
+//
+//	{"error":{"code":"invalid_argument","message":"..."}}
+//
+// with stable codes: invalid_argument, method_not_allowed, overloaded,
+// not_ready, internal. Wrong-method requests get 405 plus an Allow
+// header (Go 1.22 method patterns with a method-less fallback route).
+//
+// # The query hot path
+//
+// The layer is built for load, not just correctness:
 //
 //	response LRU → admission semaphore → in-flight dedup → compute
 //
-// A hit costs a map lookup and a write. A miss must take an admission slot
-// (sized off the worker pool) or is refused with 429 + Retry-After —
+// A hit costs a map lookup and a write. A miss must take an admission
+// slot (sized off the worker pool) or is refused with 429 + Retry-After —
 // overload sheds at the door instead of queueing without bound. Admitted
 // identical queries collapse onto one computation (hand-rolled
-// singleflight). Every layer preserves byte identity: a cached or
-// deduplicated response is exactly the bytes a cold computation produces,
-// which the concurrency tests enforce under -race.
+// singleflight). Cache and flight keys embed the world epoch, so a
+// response computed against one epoch is never served for another and
+// requests from different epochs never merge — the swap-storm race test
+// drives readers, streams, and a swapping writer concurrently to prove
+// it. Every layer preserves byte identity: a cached or deduplicated
+// response is exactly the bytes a cold computation produces.
 //
 // Query instants are quantized to the snapshot's slot grid, so distinct
-// clients asking about the same minute share cache entries, position-cache
-// instants, and in-flight computations.
+// clients asking about the same minute share cache entries, position-
+// cache instants, and in-flight computations.
 package serve

@@ -1,16 +1,23 @@
 package serve
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dgs/internal/tle"
 )
 
 // stormQueries is the mixed workload: full and filtered pass scans, plans
@@ -93,10 +100,10 @@ func TestServeConcurrentMixedWorkload(t *testing.T) {
 	snap := testSnapshot(t)
 	epoch := snap.Config().Epoch
 	passesKey := func(sat, gs int, from time.Time, hours int) string {
-		return fmt.Sprintf("passes|%d|%d|%d|%d", sat, gs, from.UnixNano(), from.Add(time.Duration(hours)*time.Hour).UnixNano())
+		return fmt.Sprintf("e1|passes|%d|%d|%d|%d", sat, gs, from.UnixNano(), from.Add(time.Duration(hours)*time.Hour).UnixNano())
 	}
 	planKey := func(from time.Time, hours int, slot time.Duration) string {
-		return fmt.Sprintf("plan|%d|%d|%d", from.UnixNano(), time.Duration(hours)*time.Hour, slot)
+		return fmt.Sprintf("e1|plan|%d|%d|%d", from.UnixNano(), time.Duration(hours)*time.Hour, slot)
 	}
 	// Sentinel queries, disjoint from stormQueries so holding them never
 	// blocks storm traffic.
@@ -376,6 +383,215 @@ func TestServeConcurrentMixedWorkload(t *testing.T) {
 	}
 	if dedups == 0 {
 		t.Fatal("workload never deduplicated an in-flight request")
+	}
+}
+
+// TestServeEpochSwapStorm races the versioned-world machinery end to
+// end: a background writer publishes ten epoch swaps through POST
+// /v2/updates while concurrent readers hammer the query surface and SSE
+// subscribers consume the delta stream. Invariants checked under -race:
+// every reader observes a non-decreasing epoch sequence, every /v2/plan
+// body's epoch matches its X-World-Epoch header, each subscriber sees
+// every delta exactly once and in order, and the store drains cleanly.
+func TestServeEpochSwapStorm(t *testing.T) {
+	snap := testSnapshot(t)
+	s := New(snap, Config{MaxInFlight: 8, CacheEntries: 128})
+	srv := &http.Server{Handler: s.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+
+	const swaps = 10
+	const readers = 16
+	const streams = 5
+
+	// Subscribers connect first, so every one of them provably receives
+	// every swap's delta.
+	type streamResult struct {
+		deltas int
+		err    error
+	}
+	streamDone := make(chan streamResult, streams)
+	streamReady := make(chan struct{}, streams)
+	for i := 0; i < streams; i++ {
+		go func() {
+			resp, err := client.Get(base + "/v2/plan/stream")
+			if err != nil {
+				streamReady <- struct{}{}
+				streamDone <- streamResult{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			streamReady <- struct{}{}
+			r := bufio.NewReader(resp.Body)
+			next := uint64(1) // expect the initial plan event at epoch 1
+			deltas := 0
+			for {
+				ev, err := readSSEEvent(r)
+				if err != nil {
+					streamDone <- streamResult{deltas: deltas} // stream drained
+					return
+				}
+				id, perr := strconv.ParseUint(ev.id, 10, 64)
+				if perr != nil || id != next {
+					streamDone <- streamResult{err: fmt.Errorf("event id %q, want %d", ev.id, next)}
+					return
+				}
+				if next == 1 && ev.name != "plan" || next > 1 && ev.name != "delta" {
+					streamDone <- streamResult{err: fmt.Errorf("event %q at epoch %d", ev.name, id)}
+					return
+				}
+				if next > 1 {
+					deltas++
+				}
+				next++
+			}
+		}()
+	}
+	for i := 0; i < streams; i++ {
+		<-streamReady
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.store.Subscribers() < streams {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d subscribers registered", s.store.Subscribers(), streams)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var writerDone atomic.Bool
+	readerErrs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for c := 0; c < readers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*6364136223846793005 + 1442695040888963407))
+			lastEpoch := uint64(0)
+			for i := 0; ; i++ {
+				last := writerDone.Load()
+				var url string
+				switch rng.Intn(3) {
+				case 0:
+					url = base + "/v2/plan"
+				case 1:
+					url = base + fmt.Sprintf("/v1/passes?sat=%d&hours=1", rng.Intn(16))
+				default:
+					url = base + "/v2/passes?sat=9&hours=1"
+				}
+				resp, err := client.Get(url)
+				if err != nil {
+					readerErrs <- fmt.Errorf("reader %d: %v", c, err)
+					return
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					readerErrs <- fmt.Errorf("reader %d: %v", c, rerr)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+				case http.StatusTooManyRequests:
+					continue // legal under load; epoch headers absent
+				default:
+					readerErrs <- fmt.Errorf("reader %d: %s: status %d body %s", c, url, resp.StatusCode, body)
+					return
+				}
+				he, perr := strconv.ParseUint(resp.Header.Get("X-World-Epoch"), 10, 64)
+				if perr != nil {
+					readerErrs <- fmt.Errorf("reader %d: %s: bad X-World-Epoch %q", c, url, resp.Header.Get("X-World-Epoch"))
+					return
+				}
+				// The world only moves forward: no reader may ever observe
+				// an epoch older than one it has already seen.
+				if he < lastEpoch {
+					readerErrs <- fmt.Errorf("reader %d: epoch went backwards: %d after %d", c, he, lastEpoch)
+					return
+				}
+				lastEpoch = he
+				if strings.HasSuffix(url, "/v2/plan") {
+					var p planV2Response
+					if err := json.Unmarshal(body, &p); err != nil {
+						readerErrs <- fmt.Errorf("reader %d: plan decode: %v", c, err)
+						return
+					}
+					if p.Epoch != he {
+						readerErrs <- fmt.Errorf("reader %d: body epoch %d != header epoch %d (torn world)", c, p.Epoch, he)
+						return
+					}
+				}
+				if last {
+					return
+				}
+			}
+		}(c)
+	}
+
+	// The writer alternates satellite 9 between two element sets; every
+	// accepted POST is one epoch swap. 429s (admission full) retry.
+	alt := [2]tle.TLE{altTLE(t, snap, 9, 21), altTLE(t, snap, 9, 22)}
+	for i := 0; i < swaps; i++ {
+		l1, l2 := tleLines(t, alt[i%2])
+		body, _ := json.Marshal(Update{TLEs: []TLEUpdate{{Line1: l1, Line2: l2}}})
+		for {
+			resp, err := client.Post(base+"/v2/updates", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("swap %d: status %d body %s", i, resp.StatusCode, rb)
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	writerDone.Store(true)
+
+	wg.Wait()
+	close(readerErrs)
+	for err := range readerErrs {
+		t.Fatal(err)
+	}
+	if e := s.store.Epoch(); e != swaps+1 {
+		t.Fatalf("final epoch = %d, want %d", e, swaps+1)
+	}
+
+	// Drain: closing the store ends every stream; each subscriber must
+	// have seen all deltas, in order, exactly once.
+	s.store.Close()
+	for i := 0; i < streams; i++ {
+		select {
+		case r := <-streamDone:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if r.deltas != swaps {
+				t.Fatalf("subscriber saw %d deltas, want %d", r.deltas, swaps)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("stream did not drain after store close")
+		}
+	}
+	// A handler's deferred Release can lag the client-visible response by
+	// a beat; retired worlds must drain to zero readers shortly after.
+	deadline = time.Now().Add(10 * time.Second)
+	for s.store.RetiredWorlds() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d retired worlds still referenced after drain", s.store.RetiredWorlds())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

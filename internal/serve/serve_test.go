@@ -499,7 +499,7 @@ func TestDedupDeterministic(t *testing.T) {
 	<-entered // leader is mid-compute
 
 	epoch := testSnapshot(t).Config().Epoch
-	key := fmt.Sprintf("passes|-1|-1|%d|%d", epoch.UnixNano(), epoch.Add(time.Hour).UnixNano())
+	key := fmt.Sprintf("e1|passes|-1|-1|%d|%d", epoch.UnixNano(), epoch.Add(time.Hour).UnixNano())
 	for i := 0; i < followers; i++ {
 		go func() { done <- get(t, h, "/v1/passes?hours=1") }()
 	}

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"time"
 
+	"dgs/internal/core"
 	"dgs/internal/pool"
 )
 
@@ -36,21 +38,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves pass-prediction, link-budget, and planning queries over a
-// world Snapshot. The hot path is: response cache → admission gate →
-// in-flight deduplication → compute. Every layer preserves byte identity
-// with the cold computation.
+// Server serves pass-prediction, link-budget, and planning queries over
+// the store's versioned world, plus the v2 live-plan surface: epoch-
+// tagged responses, delta ingestion, and the plan stream. The query hot
+// path is: response cache → admission gate → in-flight deduplication →
+// compute. Cache and flight keys carry the world epoch, so a response
+// computed against one world version is never served for another, and
+// requests from different epochs never merge into one computation.
 type Server struct {
-	snap  *Snapshot
+	store *Store
 	cfg   Config
 	cache *lruCache
 	fl    flightGroup
 	adm   *admission
 	start time.Time
 
-	passesStats endpointStats
-	planStats   endpointStats
-	linkStats   endpointStats
+	passesStats  endpointStats
+	planStats    endpointStats
+	linkStats    endpointStats
+	updatesStats endpointStats
 
 	vars *expvar.Map
 
@@ -60,11 +66,18 @@ type Server struct {
 	computeHook func(key string)
 }
 
-// New builds a Server over a loaded snapshot.
+// New builds a Server over a loaded snapshot, synchronously publishing
+// the first world (epoch 1).
 func New(snap *Snapshot, cfg Config) *Server {
+	return NewWithStore(NewStore(snap, StoreConfig{}), cfg)
+}
+
+// NewWithStore builds a Server over an existing store (possibly still
+// building its first world — queries 503 until it lands).
+func NewWithStore(store *Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		snap:  snap,
+		store: store,
 		cfg:   cfg,
 		cache: newLRU(cfg.CacheEntries),
 		adm:   newAdmission(cfg.MaxInFlight),
@@ -74,14 +87,22 @@ func New(snap *Snapshot, cfg Config) *Server {
 	s.vars.Set("passes", s.passesStats.vars())
 	s.vars.Set("plan", s.planStats.vars())
 	s.vars.Set("linkbudget", s.linkStats.vars())
+	s.vars.Set("updates", s.updatesStats.vars())
 	s.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.len() }))
 	s.vars.Set("inflight", expvar.Func(func() any { return s.adm.inUse() }))
 	s.vars.Set("inflight_limit", expvar.Func(func() any { return s.adm.limit() }))
 	s.vars.Set("uptime_s", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
+	s.vars.Set("epoch", expvar.Func(func() any { return s.store.Epoch() }))
+	s.vars.Set("stream_subscribers", expvar.Func(func() any { return s.store.Subscribers() }))
+	s.vars.Set("worlds_retired", expvar.Func(func() any { return s.store.RetiredWorlds() }))
 	return s
 }
 
-// Stats snapshots one endpoint's counters ("passes", "plan", "linkbudget").
+// Store returns the server's world store (shutdown calls Close on it).
+func (s *Server) Store() *Store { return s.store }
+
+// Stats snapshots one endpoint's counters ("passes", "plan",
+// "linkbudget", "updates").
 func (s *Server) Stats(endpoint string) EndpointStats {
 	switch endpoint {
 	case "passes":
@@ -90,18 +111,37 @@ func (s *Server) Stats(endpoint string) EndpointStats {
 		return s.planStats.snapshot()
 	case "linkbudget":
 		return s.linkStats.snapshot()
+	case "updates":
+		return s.updatesStats.snapshot()
 	}
 	return EndpointStats{}
 }
 
-// Handler returns the server's routing table.
+// Handler returns the server's routing table. Every endpoint is
+// registered with a method pattern plus a method-less fallback, so a
+// wrong-method request gets a 405 with an Allow header and the standard
+// error envelope instead of the mux's plain-text default.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/passes", s.handlePasses)
-	mux.HandleFunc("/v1/plan", s.handlePlan)
-	mux.HandleFunc("/v1/linkbudget", s.handleLinkBudget)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/debug/vars", s.handleVars)
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{http.MethodGet, "/v1/passes", s.handlePasses},
+		{http.MethodGet, "/v1/plan", s.handlePlan},
+		{http.MethodGet, "/v1/linkbudget", s.handleLinkBudget},
+		{http.MethodGet, "/v1/healthz", s.handleHealthz},
+		{http.MethodGet, "/v2/passes", s.handlePassesV2},
+		{http.MethodGet, "/v2/plan", s.handlePlanV2},
+		{http.MethodGet, "/v2/plan/stream", s.handlePlanStream},
+		{http.MethodPost, "/v2/updates", s.handleUpdates},
+		{http.MethodGet, "/v2/readyz", s.handleReadyz},
+		{http.MethodGet, "/debug/vars", s.handleVars},
+	}
+	for _, r := range routes {
+		mux.HandleFunc(r.method+" "+r.path, r.h)
+		mux.HandleFunc(r.path, methodNotAllowed(r.method))
+	}
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -114,21 +154,49 @@ func (s *Server) Handler() http.Handler {
 
 // ---- request plumbing ----
 
+// Machine-readable error codes of the unified envelope.
+const (
+	errInvalidArgument  = "invalid_argument"
+	errMethodNotAllowed = "method_not_allowed"
+	errOverloaded       = "overloaded"
+	errNotReady         = "not_ready"
+	errInternal         = "internal"
+)
+
 // httpError carries a client-visible failure out of parameter parsing.
 type httpError struct {
-	code int
-	msg  string
+	status int
+	code   string
+	msg    string
 }
 
 func badRequest(format string, args ...any) *httpError {
-	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, code: errInvalidArgument, msg: fmt.Sprintf(format, args...)}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
+// writeError emits the unified JSON error envelope:
+// {"error":{"code":"...","message":"..."}}. The code is a stable machine
+// string; only the message is free-form.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	b, _ := json.Marshal(map[string]string{"error": msg})
+	w.WriteHeader(status)
+	type inner struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	b, _ := json.Marshal(struct {
+		Error inner `json:"error"`
+	}{inner{Code: code, Message: msg}})
 	w.Write(append(b, '\n'))
+}
+
+func writeHTTPError(w http.ResponseWriter, herr *httpError) {
+	writeError(w, herr.status, herr.code, herr.msg)
+}
+
+func writeOverloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, errOverloaded, "overloaded: admission limit reached, retry later")
 }
 
 func writeBody(w http.ResponseWriter, b []byte) {
@@ -148,9 +216,53 @@ func marshalBody(v any) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// methodNotAllowed is the fallback handler behind each method-pattern
+// route: 405, the allowed method in the Allow header, and the envelope.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed, allow+" only")
+	}
+}
+
+// acquireWorld takes a reference on the current world and stamps the
+// response with its epoch. Before the first world is published it writes
+// the 503 (or the build failure) and returns false. Callers must Release
+// the world when done.
+func (s *Server) acquireWorld(w http.ResponseWriter) (*World, bool) {
+	world, ok := s.store.Acquire()
+	if !ok {
+		if err := s.store.Err(); err != nil {
+			writeError(w, http.StatusInternalServerError, errInternal, err.Error())
+		} else {
+			writeError(w, http.StatusServiceUnavailable, errNotReady, "world snapshot still building, retry shortly")
+		}
+		return nil, false
+	}
+	w.Header().Set("X-World-Epoch", strconv.FormatUint(world.Epoch, 10))
+	return world, true
+}
+
+// epochETag is the strong validator of every epoch-tagged v2 response.
+func epochETag(epoch uint64) string { return `"` + strconv.FormatUint(epoch, 10) + `"` }
+
+// notModified handles conditional revalidation: when the client's
+// If-None-Match already names this epoch, reply 304 with no body.
+func notModified(w http.ResponseWriter, r *http.Request, epoch uint64) bool {
+	etag := epochETag(epoch)
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm == etag || inm == "*" {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
 // serveComputed runs the cache → admission → dedup → compute chain for a
-// canonical query key. nocache bypasses the LRU (both read and fill) but
-// keeps deduplication: a cache-busting client must not amplify compute.
+// canonical query key (which embeds the world epoch, so neither layer
+// can bridge an epoch swap). nocache bypasses the LRU (both read and
+// fill) but keeps deduplication: a cache-busting client must not amplify
+// compute.
 func (s *Server) serveComputed(w http.ResponseWriter, st *endpointStats, key string, nocache bool, compute func() ([]byte, error)) {
 	if !nocache {
 		if b, ok := s.cache.get(key); ok {
@@ -162,8 +274,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, st *endpointStats, key str
 	st.misses.Add(1)
 	if !s.adm.tryAcquire() {
 		st.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "overloaded: admission limit reached, retry later")
+		writeOverloaded(w)
 		return
 	}
 	defer s.adm.release()
@@ -178,7 +289,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, st *endpointStats, key str
 	}
 	if err != nil {
 		st.errors.Add(1)
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, errInternal, err.Error())
 		return
 	}
 	if !nocache && !shared {
@@ -241,12 +352,12 @@ func parseDuration(r *http.Request, name string, def time.Duration) (time.Durati
 
 // checkSpan validates a [from, to) query range against the snapshot's
 // servable horizon.
-func (s *Server) checkSpan(from, to time.Time) *httpError {
+func checkSpan(snap *Snapshot, from, to time.Time) *httpError {
 	if !to.After(from) {
 		return badRequest("empty range: to %s is not after from %s", to.Format(time.RFC3339), from.Format(time.RFC3339))
 	}
-	if !s.snap.InSpan(from) || !s.snap.InSpan(to) {
-		c := s.snap.Config()
+	if !snap.InSpan(from) || !snap.InSpan(to) {
+		c := snap.Config()
 		return badRequest("range [%s, %s) outside servable span [%s, %s]",
 			from.Format(time.RFC3339), to.Format(time.RFC3339),
 			c.Epoch.Format(time.RFC3339), c.Epoch.Add(c.MaxSpan).Format(time.RFC3339))
@@ -254,16 +365,7 @@ func (s *Server) checkSpan(from, to time.Time) *httpError {
 	return nil
 }
 
-func methodGet(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return false
-	}
-	return true
-}
-
-// ---- /v1/passes ----
+// ---- pass queries (/v1/passes, /v2/passes) ----
 
 // passWindow is the wire form of one predicted contact window.
 type passWindow struct {
@@ -287,72 +389,123 @@ type passesResponse struct {
 	Windows []passWindow `json:"windows"`
 }
 
-func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
-	if !methodGet(w, r) {
-		return
-	}
-	st := &s.passesStats
-	t0 := time.Now()
-	defer func() { st.observe(time.Since(t0)) }()
+// passesV2Response is the epoch-tagged v2 shape.
+type passesV2Response struct {
+	Epoch uint64 `json:"epoch"`
+	passesResponse
+}
 
+// passesQuery is the parsed, validated, grid-quantized pass query.
+type passesQuery struct {
+	sat, gs  int
+	from, to time.Time
+}
+
+func parsePassesQuery(r *http.Request, snap *Snapshot) (passesQuery, *httpError) {
+	var q passesQuery
 	sat, herr := parseInt(r, "sat", -1)
-	if herr == nil && (sat < -1 || sat >= s.snap.Sats()) {
-		herr = badRequest("sat %d out of range [0, %d) (-1 or absent = all)", sat, s.snap.Sats())
+	if herr == nil && (sat < -1 || sat >= snap.Sats()) {
+		herr = badRequest("sat %d out of range [0, %d) (-1 or absent = all)", sat, snap.Sats())
 	}
 	var gs int
 	if herr == nil {
 		gs, herr = parseInt(r, "station", -1)
-		if herr == nil && (gs < -1 || gs >= s.snap.Stations()) {
-			herr = badRequest("station %d out of range [0, %d) (-1 or absent = all)", gs, s.snap.Stations())
+		if herr == nil && (gs < -1 || gs >= snap.Stations()) {
+			herr = badRequest("station %d out of range [0, %d) (-1 or absent = all)", gs, snap.Stations())
 		}
 	}
 	var from time.Time
 	if herr == nil {
-		from, herr = parseTime(r, "from", s.snap.Config().Epoch)
+		from, herr = parseTime(r, "from", snap.Config().Epoch)
 	}
 	var hours float64
 	if herr == nil {
 		hours, herr = parseFloat(r, "hours", 3)
-		if herr == nil && (hours <= 0 || hours > s.snap.Config().MaxSpan.Hours()) {
-			herr = badRequest("hours %g out of range (0, %g]", hours, s.snap.Config().MaxSpan.Hours())
+		if herr == nil && (hours <= 0 || hours > snap.Config().MaxSpan.Hours()) {
+			herr = badRequest("hours %g out of range (0, %g]", hours, snap.Config().MaxSpan.Hours())
 		}
 	}
 	if herr != nil {
-		writeError(w, herr.code, herr.msg)
-		return
+		return q, herr
 	}
-	from = s.snap.Quantize(from)
+	from = snap.Quantize(from)
 	to := from.Add(time.Duration(hours * float64(time.Hour)))
-	if herr := s.checkSpan(from, to); herr != nil {
-		writeError(w, herr.code, herr.msg)
+	if herr := checkSpan(snap, from, to); herr != nil {
+		return q, herr
+	}
+	q.sat, q.gs, q.from, q.to = sat, gs, from, to
+	return q, nil
+}
+
+func passesWire(snap *Snapshot, q passesQuery) passesResponse {
+	ws := snap.Passes(q.from, q.to, q.sat, q.gs)
+	resp := passesResponse{
+		From: q.from, To: q.to, Sat: q.sat, Station: q.gs,
+		Count: len(ws), Windows: make([]passWindow, 0, len(ws)),
+	}
+	for _, pw := range ws {
+		out := passWindow{
+			Sat: pw.Sat, Station: pw.Station,
+			Start: pw.Start, End: pw.End, Rise: pw.Rise,
+			MaxDurSec: pw.End.Sub(pw.Start).Seconds(),
+		}
+		if !pw.Set.IsZero() {
+			set := pw.Set
+			out.Set = &set
+		}
+		resp.Windows = append(resp.Windows, out)
+	}
+	return resp
+}
+
+func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
+	st := &s.passesStats
+	t0 := time.Now()
+	defer func() { st.observe(time.Since(t0)) }()
+
+	world, ok := s.acquireWorld(w)
+	if !ok {
 		return
 	}
-
-	key := fmt.Sprintf("passes|%d|%d|%d|%d", sat, gs, from.UnixNano(), to.UnixNano())
+	defer world.Release()
+	q, herr := parsePassesQuery(r, world.Snap)
+	if herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+	key := fmt.Sprintf("e%d|passes|%d|%d|%d|%d", world.Epoch, q.sat, q.gs, q.from.UnixNano(), q.to.UnixNano())
 	nocache := r.URL.Query().Get("nocache") != ""
 	s.serveComputed(w, st, key, nocache, func() ([]byte, error) {
-		ws := s.snap.Passes(from, to, sat, gs)
-		resp := passesResponse{
-			From: from, To: to, Sat: sat, Station: gs,
-			Count: len(ws), Windows: make([]passWindow, 0, len(ws)),
-		}
-		for _, pw := range ws {
-			out := passWindow{
-				Sat: pw.Sat, Station: pw.Station,
-				Start: pw.Start, End: pw.End, Rise: pw.Rise,
-				MaxDurSec: pw.End.Sub(pw.Start).Seconds(),
-			}
-			if !pw.Set.IsZero() {
-				set := pw.Set
-				out.Set = &set
-			}
-			resp.Windows = append(resp.Windows, out)
-		}
-		return marshalBody(resp)
+		return marshalBody(passesWire(world.Snap, q))
 	})
 }
 
-// ---- /v1/plan ----
+func (s *Server) handlePassesV2(w http.ResponseWriter, r *http.Request) {
+	st := &s.passesStats
+	t0 := time.Now()
+	defer func() { st.observe(time.Since(t0)) }()
+
+	world, ok := s.acquireWorld(w)
+	if !ok {
+		return
+	}
+	defer world.Release()
+	q, herr := parsePassesQuery(r, world.Snap)
+	if herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+	if notModified(w, r, world.Epoch) {
+		return
+	}
+	key := fmt.Sprintf("e%d|v2passes|%d|%d|%d|%d", world.Epoch, q.sat, q.gs, q.from.UnixNano(), q.to.UnixNano())
+	nocache := r.URL.Query().Get("nocache") != ""
+	s.serveComputed(w, st, key, nocache, func() ([]byte, error) {
+		return marshalBody(passesV2Response{Epoch: world.Epoch, passesResponse: passesWire(world.Snap, q)})
+	})
+}
+
+// ---- plan queries (/v1/plan, /v2/plan) ----
 
 type planAssignment struct {
 	Sat     int     `json:"sat"`
@@ -374,91 +527,298 @@ type planResponse struct {
 	Slots       []planSlot `json:"slots"`
 }
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	if !methodGet(w, r) {
-		return
+// planV2Response is the epoch-tagged live-plan shape.
+type planV2Response struct {
+	Epoch       uint64 `json:"epoch"`
+	PlanVersion int    `json:"plan_version"`
+	planResponse
+}
+
+// planDeltaEvent is the SSE delta payload: the slots an epoch swap
+// changed (with their full new assignment sets) and the slots whose
+// assignments vanished entirely.
+type planDeltaEvent struct {
+	Epoch       uint64      `json:"epoch"`
+	PlanVersion int         `json:"plan_version"`
+	Changed     []planSlot  `json:"changed"`
+	Removed     []time.Time `json:"removed"`
+}
+
+func planWire(plan *core.Plan) planResponse {
+	resp := planResponse{
+		Issued:     plan.Issued,
+		SlotSec:    plan.SlotDur.Seconds(),
+		TotalSlots: len(plan.Slots),
+		Slots:      make([]planSlot, 0, len(plan.Slots)),
 	}
+	for _, sl := range plan.Slots {
+		if len(sl.Assignments) == 0 {
+			continue
+		}
+		out := planSlot{Start: sl.Start, Assignments: make([]planAssignment, 0, len(sl.Assignments))}
+		for _, a := range sl.Assignments {
+			out.Assignments = append(out.Assignments, planAssignment{
+				Sat: a.Sat, Station: a.Station, RateBps: a.PlannedRateBps, Weight: a.Weight,
+			})
+			resp.Assignments++
+		}
+		resp.Slots = append(resp.Slots, out)
+	}
+	return resp
+}
+
+// marshalPlanV2 renders a world's live plan to its canonical v2 body
+// (no trailing newline — the SSE path embeds it as one data line).
+func marshalPlanV2(w *World) []byte {
+	b, err := json.Marshal(planV2Response{
+		Epoch:        w.Epoch,
+		PlanVersion:  w.Plan.Version,
+		planResponse: planWire(w.Plan),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("serve: plan marshal: %v", err))
+	}
+	return b
+}
+
+// marshalPlanDelta diffs the new world's plan against the previous plan
+// on their shared slot grid and renders the delta event payload.
+func marshalPlanDelta(w *World, prev *core.Plan) []byte {
+	ev := planDeltaEvent{
+		Epoch:       w.Epoch,
+		PlanVersion: w.Plan.Version,
+		Changed:     []planSlot{},
+		Removed:     []time.Time{},
+	}
+	wireSlot := func(sl core.Slot) planSlot {
+		out := planSlot{Start: sl.Start, Assignments: make([]planAssignment, 0, len(sl.Assignments))}
+		for _, a := range sl.Assignments {
+			out.Assignments = append(out.Assignments, planAssignment{
+				Sat: a.Sat, Station: a.Station, RateBps: a.PlannedRateBps, Weight: a.Weight,
+			})
+		}
+		return out
+	}
+	for k := range w.Plan.Slots {
+		ns := w.Plan.Slots[k]
+		var os *core.Slot
+		if prev != nil && k < len(prev.Slots) {
+			os = &prev.Slots[k]
+		}
+		same := os != nil && len(os.Assignments) == len(ns.Assignments)
+		if same {
+			for i := range ns.Assignments {
+				if os.Assignments[i] != ns.Assignments[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			continue
+		}
+		if len(ns.Assignments) == 0 {
+			if os != nil && len(os.Assignments) > 0 {
+				ev.Removed = append(ev.Removed, ns.Start)
+			}
+			continue
+		}
+		ev.Changed = append(ev.Changed, wireSlot(ns))
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		panic(fmt.Sprintf("serve: delta marshal: %v", err))
+	}
+	return b
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	st := &s.planStats
 	t0 := time.Now()
 	defer func() { st.observe(time.Since(t0)) }()
 
-	from, herr := parseTime(r, "from", s.snap.Config().Epoch)
+	world, ok := s.acquireWorld(w)
+	if !ok {
+		return
+	}
+	defer world.Release()
+	snap := world.Snap
+
+	from, herr := parseTime(r, "from", snap.Config().Epoch)
 	var hours float64
 	if herr == nil {
 		hours, herr = parseFloat(r, "hours", 1)
-		if herr == nil && (hours <= 0 || hours > s.snap.Config().MaxSpan.Hours()) {
-			herr = badRequest("hours %g out of range (0, %g]", hours, s.snap.Config().MaxSpan.Hours())
+		if herr == nil && (hours <= 0 || hours > snap.Config().MaxSpan.Hours()) {
+			herr = badRequest("hours %g out of range (0, %g]", hours, snap.Config().MaxSpan.Hours())
 		}
 	}
 	var slot time.Duration
 	if herr == nil {
-		slot, herr = parseDuration(r, "slot", s.snap.Config().Slot)
+		slot, herr = parseDuration(r, "slot", snap.Config().Slot)
 		if herr == nil && (slot < time.Second || slot > time.Hour) {
 			herr = badRequest("slot %v out of range [1s, 1h]", slot)
 		}
 	}
 	if herr != nil {
-		writeError(w, herr.code, herr.msg)
+		writeHTTPError(w, herr)
 		return
 	}
-	from = s.snap.Quantize(from)
+	from = snap.Quantize(from)
 	horizon := time.Duration(hours * float64(time.Hour))
-	if herr := s.checkSpan(from, from.Add(horizon)); herr != nil {
-		writeError(w, herr.code, herr.msg)
+	if herr := checkSpan(snap, from, from.Add(horizon)); herr != nil {
+		writeHTTPError(w, herr)
 		return
 	}
 
-	key := fmt.Sprintf("plan|%d|%d|%d", from.UnixNano(), horizon, slot)
+	key := fmt.Sprintf("e%d|plan|%d|%d|%d", world.Epoch, from.UnixNano(), horizon, slot)
 	nocache := r.URL.Query().Get("nocache") != ""
 	s.serveComputed(w, st, key, nocache, func() ([]byte, error) {
-		plan := s.snap.Plan(from, horizon, slot)
-		resp := planResponse{
-			Issued:     plan.Issued,
-			SlotSec:    plan.SlotDur.Seconds(),
-			TotalSlots: len(plan.Slots),
-			Slots:      make([]planSlot, 0, len(plan.Slots)),
-		}
-		for _, sl := range plan.Slots {
-			if len(sl.Assignments) == 0 {
-				continue
-			}
-			out := planSlot{Start: sl.Start, Assignments: make([]planAssignment, 0, len(sl.Assignments))}
-			for _, a := range sl.Assignments {
-				out.Assignments = append(out.Assignments, planAssignment{
-					Sat: a.Sat, Station: a.Station, RateBps: a.PlannedRateBps, Weight: a.Weight,
-				})
-				resp.Assignments++
-			}
-			resp.Slots = append(resp.Slots, out)
-		}
-		return marshalBody(resp)
+		return marshalBody(planWire(snap.Plan(from, horizon, slot)))
 	})
+}
+
+// handlePlanV2 serves the live, incrementally maintained plan: the
+// prebuilt epoch-tagged body, with ETag/If-None-Match revalidation so a
+// client holding the current epoch pays one 304 instead of a body.
+func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
+	st := &s.planStats
+	t0 := time.Now()
+	defer func() { st.observe(time.Since(t0)) }()
+
+	world, ok := s.acquireWorld(w)
+	if !ok {
+		return
+	}
+	defer world.Release()
+	if notModified(w, r, world.Epoch) {
+		return
+	}
+	st.hits.Add(1) // prebuilt: the live plan is always a cache hit
+	writeBody(w, append(world.planJSON, '\n'))
+}
+
+// ---- /v2/updates ----
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	st := &s.updatesStats
+	t0 := time.Now()
+	defer func() { st.observe(time.Since(t0)) }()
+
+	st.misses.Add(1)
+	if !s.adm.tryAcquire() {
+		st.rejected.Add(1)
+		writeOverloaded(w)
+		return
+	}
+	defer s.adm.release()
+
+	var u Update
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&u); err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidArgument, fmt.Sprintf("bad update body: %v", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errInvalidArgument, "trailing data after update object")
+		return
+	}
+	res, err := s.store.Apply(u)
+	switch {
+	case err == nil:
+	case IsUpdateError(err):
+		writeError(w, http.StatusBadRequest, errInvalidArgument, err.Error())
+		return
+	case s.store.Current() == nil:
+		writeError(w, http.StatusServiceUnavailable, errNotReady, err.Error())
+		return
+	default:
+		st.errors.Add(1)
+		writeError(w, http.StatusServiceUnavailable, errNotReady, err.Error())
+		return
+	}
+	w.Header().Set("X-World-Epoch", strconv.FormatUint(res.Epoch, 10))
+	b, merr := marshalBody(res)
+	if merr != nil {
+		st.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, errInternal, merr.Error())
+		return
+	}
+	writeBody(w, b)
+}
+
+// ---- /v2/plan/stream ----
+
+// handlePlanStream is the SSE plan feed: one `plan` event with the full
+// current plan on connect, then one `delta` event per epoch swap. The
+// stream ends when the client disconnects or the store shuts down (the
+// graceful-drain path — the handler returns, letting Shutdown finish).
+func (s *Server) handlePlanStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errInternal, "streaming unsupported by this connection")
+		return
+	}
+	id, ch, initial, err := s.store.Subscribe()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, errNotReady, err.Error())
+		return
+	}
+	defer s.store.Unsubscribe(id)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-World-Epoch", strconv.FormatUint(s.store.Epoch(), 10))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(initial); err != nil {
+		return
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // store closed or we were evicted as a slow consumer
+			}
+			if _, err := w.Write(ev); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // ---- /v1/linkbudget ----
 
 func (s *Server) handleLinkBudget(w http.ResponseWriter, r *http.Request) {
-	if !methodGet(w, r) {
-		return
-	}
 	st := &s.linkStats
 	t0 := time.Now()
 	defer func() { st.observe(time.Since(t0)) }()
 
+	world, ok := s.acquireWorld(w)
+	if !ok {
+		return
+	}
+	defer world.Release()
+	snap := world.Snap
+
 	sat, herr := parseInt(r, "sat", -1)
-	if herr == nil && (sat < 0 || sat >= s.snap.Sats()) {
-		herr = badRequest("sat required in [0, %d)", s.snap.Sats())
+	if herr == nil && (sat < 0 || sat >= snap.Sats()) {
+		herr = badRequest("sat required in [0, %d)", snap.Sats())
 	}
 	var gs int
 	if herr == nil {
 		gs, herr = parseInt(r, "station", -1)
-		if herr == nil && (gs < 0 || gs >= s.snap.Stations()) {
-			herr = badRequest("station required in [0, %d)", s.snap.Stations())
+		if herr == nil && (gs < 0 || gs >= snap.Stations()) {
+			herr = badRequest("station required in [0, %d)", snap.Stations())
 		}
 	}
 	var at time.Time
 	if herr == nil {
-		at, herr = parseTime(r, "t", s.snap.Config().Epoch)
+		at, herr = parseTime(r, "t", snap.Config().Epoch)
 	}
 	var lead time.Duration
 	if herr == nil {
@@ -468,13 +828,13 @@ func (s *Server) handleLinkBudget(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if herr != nil {
-		writeError(w, herr.code, herr.msg)
+		writeHTTPError(w, herr)
 		return
 	}
-	at = s.snap.Quantize(at)
-	if !s.snap.InSpan(at) {
-		c := s.snap.Config()
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("t %s outside servable span [%s, %s]",
+	at = snap.Quantize(at)
+	if !snap.InSpan(at) {
+		c := snap.Config()
+		writeError(w, http.StatusBadRequest, errInvalidArgument, fmt.Sprintf("t %s outside servable span [%s, %s]",
 			at.Format(time.RFC3339), c.Epoch.Format(time.RFC3339), c.Epoch.Add(c.MaxSpan).Format(time.RFC3339)))
 		return
 	}
@@ -484,22 +844,21 @@ func (s *Server) handleLinkBudget(w http.ResponseWriter, r *http.Request) {
 	st.misses.Add(1)
 	if !s.adm.tryAcquire() {
 		st.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "overloaded: admission limit reached, retry later")
+		writeOverloaded(w)
 		return
 	}
-	lb := s.snap.LinkBudgetAt(sat, gs, at, lead)
+	lb := snap.LinkBudgetAt(sat, gs, at, lead)
 	s.adm.release()
 	b, err := marshalBody(lb)
 	if err != nil {
 		st.errors.Add(1)
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, errInternal, err.Error())
 		return
 	}
 	writeBody(w, b)
 }
 
-// ---- /v1/healthz and /debug/vars ----
+// ---- /v1/healthz, /v2/readyz, /debug/vars ----
 
 type healthResponse struct {
 	OK       bool      `json:"ok"`
@@ -509,24 +868,53 @@ type healthResponse struct {
 	SlotSec  float64   `json:"slot_s"`
 	MaxSpanH float64   `json:"max_span_h"`
 	UptimeS  float64   `json:"uptime_s"`
+	// ServingEpoch is the world version answering queries right now;
+	// WorldBuilt is when that snapshot was assembled.
+	ServingEpoch uint64    `json:"serving_epoch"`
+	WorldBuilt   time.Time `json:"world_built"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !methodGet(w, r) {
+	world, ok := s.acquireWorld(w)
+	if !ok {
 		return
 	}
-	c := s.snap.Config()
+	defer world.Release()
+	c := world.Snap.Config()
 	b, err := marshalBody(healthResponse{
-		OK:       true,
-		Sats:     s.snap.Sats(),
-		Stations: s.snap.Stations(),
-		Epoch:    c.Epoch,
-		SlotSec:  c.Slot.Seconds(),
-		MaxSpanH: c.MaxSpan.Hours(),
-		UptimeS:  time.Since(s.start).Seconds(),
+		OK:           true,
+		Sats:         world.Snap.Sats(),
+		Stations:     world.Snap.Stations(),
+		Epoch:        c.Epoch,
+		SlotSec:      c.Slot.Seconds(),
+		MaxSpanH:     c.MaxSpan.Hours(),
+		UptimeS:      time.Since(s.start).Seconds(),
+		ServingEpoch: world.Epoch,
+		WorldBuilt:   world.Built,
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, errInternal, err.Error())
+		return
+	}
+	writeBody(w, b)
+}
+
+type readyResponse struct {
+	Ready bool   `json:"ready"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// handleReadyz reports world availability: 200 once the first world is
+// published, 503 while it is still building (or failed to build).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	world, ok := s.acquireWorld(w)
+	if !ok {
+		return
+	}
+	defer world.Release()
+	b, err := marshalBody(readyResponse{Ready: true, Epoch: world.Epoch})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, errInternal, err.Error())
 		return
 	}
 	writeBody(w, b)
@@ -536,9 +924,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // Server (not expvar.Publish'd): multiple servers can coexist in one
 // process (tests, benchmarks) without colliding in the global registry.
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
-	if !methodGet(w, r) {
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"dgs_api\": %s}\n", s.vars.String())
 }
+
+// drainBody is kept for handlers that must consume a request body fully;
+// currently unused but retained for middleware symmetry.
+var _ = io.Discard

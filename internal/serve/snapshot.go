@@ -160,6 +160,42 @@ func NewSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 	return s, nil
 }
 
+// rederive builds the read view of a revised world: the same config and
+// radio over the planner's current propagators, network, and forecast,
+// with a fresh position cache, station geometry, and plan queue state.
+// The receiver is left untouched — published snapshots are immutable.
+func (s *Snapshot) rederive(ip *core.IncrementalPlanner, tles []tle.TLE, fc *weather.Forecast) *Snapshot {
+	sats := ip.Snapshots()
+	net := ip.Stations()
+	next := &Snapshot{
+		cfg:     s.cfg,
+		tles:    append([]tle.TLE(nil), tles...),
+		net:     net,
+		radio:   s.radio,
+		fc:      fc,
+		genRate: s.genRate,
+	}
+	next.props = make([]orbit.Propagator, len(sats))
+	for i := range sats {
+		next.props[i] = sats[i].Prop
+	}
+	next.positions = poscache.New(next.props)
+	next.positions.Workers = s.cfg.Workers
+	next.topo = make([]frames.Topocentric, len(net))
+	for j, gs := range net {
+		next.topo[j] = frames.NewTopocentric(gs.Location)
+	}
+	next.planSnaps = make([]core.SatSnapshot, len(next.props))
+	for i := range next.planSnaps {
+		next.planSnaps[i] = core.SatSnapshot{
+			Prop:        next.props[i],
+			PendingBits: next.genRate * 3600,
+			OldestAge:   time.Hour,
+		}
+	}
+	return next
+}
+
 // Config returns the resolved configuration.
 func (s *Snapshot) Config() SnapshotConfig { return s.cfg }
 

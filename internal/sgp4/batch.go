@@ -17,8 +17,9 @@ import (
 )
 
 // Batch holds the SGP4 coefficients of a satellite population in
-// struct-of-arrays layout. It is immutable after NewBatch and safe for
-// concurrent use; callers partition the index range across workers.
+// struct-of-arrays layout. It is safe for concurrent read use (callers
+// partition the index range across workers); the only mutation is
+// Replace, which callers must serialize against readers.
 type Batch struct {
 	grav astro.GravityModel
 	n    int
@@ -78,6 +79,35 @@ func NewBatch(props []*Propagator) *Batch {
 
 // Len returns the population size.
 func (b *Batch) Len() int { return b.n }
+
+// Replace overwrites slot i's coefficients with those of a freshly
+// initialized propagator — the live-world TLE-refresh path, where one
+// satellite's elements change while the rest of the population stands.
+// The replacement must share the batch's gravity model (it does whenever
+// it comes from New); a mismatch returns false and leaves the batch
+// untouched, and the caller falls back to rebuilding. Subsequent
+// PositionECEF(i, ...) calls are bit-identical to a batch rebuilt from
+// the updated population: the copied fields are exactly the ones NewBatch
+// flattens.
+//
+// Replace is NOT safe for concurrent use with readers; callers serialize
+// it against propagation (the position cache swap-patches under its lock).
+func (b *Batch) Replace(i int, p *Propagator) bool {
+	if i < 0 || i >= b.n || p == nil || p.grav != b.grav {
+		return false
+	}
+	b.epochJD[i] = p.epochJD
+	b.bstar[i], b.ecco[i], b.argpo[i], b.inclo[i] = p.bstar, p.ecco, p.argpo, p.inclo
+	b.mo[i], b.no[i], b.nodeo[i] = p.mo, p.no, p.nodeo
+	b.isimp[i] = p.isimp
+	b.aycof[i], b.con41[i], b.cc1[i], b.cc4[i], b.cc5[i] = p.aycof, p.con41, p.cc1, p.cc4, p.cc5
+	b.d2[i], b.d3[i], b.d4[i] = p.d2, p.d3, p.d4
+	b.delmo[i], b.eta[i], b.argpdot[i], b.omgcof[i], b.sinmao[i] = p.delmo, p.eta, p.argpdot, p.omgcof, p.sinmao
+	b.t2cof[i], b.t3cof[i], b.t4cof[i], b.t5cof[i] = p.t2cof, p.t3cof, p.t4cof, p.t5cof
+	b.x1mth2[i], b.x7thm1[i], b.mdot[i], b.nodedot[i], b.xlcof[i] = p.x1mth2, p.x7thm1, p.mdot, p.nodedot, p.xlcof
+	b.xmcof[i], b.nodecf[i] = p.xmcof, p.nodecf
+	return true
+}
 
 // PositionsECEF advances satellites [lo, hi) to the Julian date jd and
 // writes their ECEF positions into pos[lo:hi] and validity into

@@ -12,6 +12,12 @@
 // when it has none, the previous "current" becomes the baseline — the
 // first recorded run therefore anchors the trajectory.
 //
+// With -merge the parsed benchmarks are folded into the existing
+// "current" snapshot instead of replacing it wholesale: same-name
+// results are overwritten, everything else is preserved. That lets a
+// targeted run (say, the epoch-swap benches) refresh its slice of the
+// trajectory without re-running the tens-of-minutes mega sims.
+//
 // With -diff the tool reads an existing trajectory file instead of stdin
 // and compares current against baseline for the selected benchmarks and
 // metric, printing a WARN line for every regression beyond -tol percent
@@ -128,6 +134,7 @@ func diffSnapshots(file *File, re *regexp.Regexp, metric string, tol float64) in
 func main() {
 	outPath := flag.String("o", "BENCH_sim.json", "output file")
 	note := flag.String("note", "", "annotation stored with this snapshot")
+	merge := flag.Bool("merge", false, "fold stdin benchmarks into the existing current snapshot instead of replacing it")
 	diff := flag.Bool("diff", false, "compare current vs baseline in the -o file instead of reading stdin")
 	benchPat := flag.String("bench", ".*", "with -diff: regexp selecting benchmark names to compare")
 	metric := flag.String("metric", "ns/op", "with -diff: metric to compare")
@@ -162,17 +169,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	cur := &Snapshot{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Note:       *note,
-		Benchmarks: benches,
-	}
 
-	var file File
+	var file, old File
 	if prev, err := os.ReadFile(*outPath); err == nil {
-		var old File
 		if json.Unmarshal(prev, &old) == nil {
 			file.Baseline = old.Baseline
 			if file.Baseline == nil {
@@ -180,7 +179,29 @@ func main() {
 			}
 		}
 	}
-	file.Current = cur
+	if *merge && old.Current != nil {
+		fresh := make(map[string]bool, len(benches))
+		for _, b := range benches {
+			fresh[b.Name] = true
+		}
+		kept := make([]Bench, 0, len(old.Current.Benchmarks)+len(benches))
+		for _, b := range old.Current.Benchmarks {
+			if !fresh[b.Name] {
+				kept = append(kept, b)
+			}
+		}
+		benches = append(kept, benches...)
+		if *note == "" {
+			*note = old.Current.Note
+		}
+	}
+	file.Current = &Snapshot{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+		Benchmarks: benches,
+	}
 
 	enc, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {

@@ -4,16 +4,26 @@
 // query pool over that population, and runs -c workers each issuing its
 // next request as soon as the previous one completes.
 //
+// With -stream N it additionally holds N /v2/plan/stream SSE
+// subscriptions open for the run, and with -post-update it POSTs a live
+// weather revision to /v2/updates on that interval — together they
+// exercise the full update -> epoch swap -> delta broadcast round trip:
+// every subscriber must receive the initial plan event, and at least one
+// delta whenever an update was accepted.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8041 -c 32 -d 10s
+//	loadgen -addr 127.0.0.1:8041 -c 8 -d 5s -stream 4 -post-update 500ms
 //
 // Exit status is 1 if any request failed at transport level or returned a
-// 5xx; 429s are counted (they are the server shedding load as designed),
-// not failures.
+// 4xx/5xx, or if the streaming round trip broke; 429s are counted (they
+// are the server shedding load as designed), not failures.
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +32,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -108,9 +119,12 @@ func main() {
 	conc := flag.Int("c", 16, "concurrent closed-loop clients")
 	dur := flag.Duration("d", 5*time.Second, "run duration")
 	seed := flag.Int64("seed", 1, "query-mix seed")
+	stream := flag.Int("stream", 0, "plan-stream SSE subscriptions held open for the run")
+	postUpdate := flag.Duration("post-update", 0, "interval between live weather revisions POSTed to /v2/updates (0 disables)")
 	flag.Parse()
 	cliutil.PositiveInt("c", *conc)
 	cliutil.PositiveDuration("d", *dur)
+	cliutil.NonNegativeInt("stream", *stream)
 
 	base := "http://" + *addr
 	client := &http.Client{
@@ -134,6 +148,92 @@ func main() {
 
 	t := &tally{status: make(map[int]int)}
 	deadline := time.Now().Add(*dur)
+
+	// SSE subscribers connect before the query storm so each provably
+	// observes every update applied during the run. They read until the
+	// run deadline cancels the request.
+	streamCtx, cancelStreams := context.WithCancel(context.Background())
+	defer cancelStreams()
+	type streamResult struct {
+		plans, deltas int
+		err           error
+	}
+	streamDone := make(chan streamResult, *stream)
+	streamClient := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *stream + 1}}
+	for i := 0; i < *stream; i++ {
+		go func() {
+			var sr streamResult
+			req, err := http.NewRequestWithContext(streamCtx, http.MethodGet, base+"/v2/plan/stream", nil)
+			if err != nil {
+				sr.err = err
+				streamDone <- sr
+				return
+			}
+			resp, err := streamClient.Do(req)
+			if err != nil {
+				sr.err = err
+				streamDone <- sr
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				sr.err = fmt.Errorf("stream status %d", resp.StatusCode)
+				streamDone <- sr
+				return
+			}
+			r := bufio.NewReader(resp.Body)
+			for {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					streamDone <- sr // deadline cancel or server drain
+					return
+				}
+				switch strings.TrimRight(line, "\n") {
+				case "event: plan":
+					sr.plans++
+				case "event: delta":
+					sr.deltas++
+				}
+			}
+		}()
+	}
+
+	// The updater revises the live weather on a fixed cadence; every
+	// accepted POST is one epoch swap the streams must observe.
+	var updMu sync.Mutex
+	applied, updateRejected, updateFailed := 0, 0, 0
+	updaterDone := make(chan struct{})
+	if *postUpdate > 0 {
+		go func() {
+			defer close(updaterDone)
+			tick := time.NewTicker(*postUpdate)
+			defer tick.Stop()
+			for n := uint64(1); time.Now().Before(deadline); n++ {
+				<-tick.C
+				body := fmt.Sprintf(`{"weather":{"seed":%d,"err_fraction":0.3}}`, n)
+				resp, err := client.Post(base+"/v2/updates", "application/json", strings.NewReader(body))
+				updMu.Lock()
+				if err != nil {
+					updateFailed++
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						applied++
+					case http.StatusTooManyRequests:
+						updateRejected++
+					default:
+						updateFailed++
+					}
+				}
+				updMu.Unlock()
+			}
+		}()
+	} else {
+		close(updaterDone)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < *conc; w++ {
 		wg.Add(1)
@@ -158,6 +258,32 @@ func main() {
 	start := time.Now()
 	wg.Wait()
 	elapsed := time.Since(start)
+	<-updaterDone
+
+	// Give in-flight deltas a beat to reach the subscribers, then end the
+	// streams and collect.
+	streamFailures := 0
+	var streamPlans, streamDeltas int
+	if *stream > 0 {
+		time.Sleep(200 * time.Millisecond)
+		cancelStreams()
+		for i := 0; i < *stream; i++ {
+			sr := <-streamDone
+			streamPlans += sr.plans
+			streamDeltas += sr.deltas
+			switch {
+			case sr.err != nil:
+				log.Printf("loadgen: stream %d: %v", i, sr.err)
+				streamFailures++
+			case sr.plans != 1:
+				log.Printf("loadgen: stream %d: %d plan events, want exactly 1", i, sr.plans)
+				streamFailures++
+			case applied > 0 && sr.deltas == 0:
+				log.Printf("loadgen: stream %d: no delta despite %d applied updates", i, applied)
+				streamFailures++
+			}
+		}
+	}
 
 	fmt.Printf("\n%d requests in %v (%.0f req/s)\n", t.total, elapsed.Round(time.Millisecond), float64(t.total)/elapsed.Seconds())
 	for code, n := range t.status {
@@ -175,8 +301,13 @@ func main() {
 		fmt.Printf("  %-10s n=%-6d p50=%.2fms p99=%.2fms max=%.2fms\n",
 			name, d.N(), d.Median(), d.Percentile(99), d.Max())
 	}
-	if t.failures > 0 {
-		fmt.Printf("FAIL: %d failed requests\n", t.failures)
+	if *stream > 0 || *postUpdate > 0 {
+		fmt.Printf("  live: %d updates applied (%d shed), %d streams saw %d plans + %d deltas\n",
+			applied, updateRejected, *stream, streamPlans, streamDeltas)
+	}
+	if t.failures > 0 || streamFailures > 0 || updateFailed > 0 {
+		fmt.Printf("FAIL: %d failed requests, %d broken streams, %d failed updates\n",
+			t.failures, streamFailures, updateFailed)
 		os.Exit(1)
 	}
 }
