@@ -36,8 +36,11 @@ echo "== go test -race (parallel pipeline + session + serving layers)"
 # while readers and SSE subscribers race the atomic snapshot swap.
 # passes and poscache host the sharded sweep, lockstep refinement, and
 # multi-instant cache fill behind the parallel pass-prediction pipeline.
+# spatial and sgp4 sit under every propagation worker; serve now also
+# hosts the federation suite (shard sessions, merge rebuilds, and the
+# seeded chaos kill/rejoin convergence run).
 go test -race ./internal/passes ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget \
-    ./internal/backend ./internal/proto ./internal/faultnet ./internal/serve
+    ./internal/backend ./internal/proto ./internal/faultnet ./internal/serve ./internal/spatial ./internal/sgp4
 
 echo "== serve smoke (dgs-api + loadgen, live-update round trip)"
 # Boot the API on an ephemeral port over a small world, drive it with the
@@ -69,6 +72,65 @@ kill -INT "$api_pid"
 wait "$api_pid" || { echo "dgs-api did not shut down cleanly:" >&2; cat "$smokedir/api.log" >&2; exit 1; }
 grep -q "clean shutdown" "$smokedir/api.log"
 
+
+echo "== federation smoke (2 dgs-shard + front tier vs monolith)"
+# Boot two shard backends and a merging front tier over the same small
+# world as a monolith dgs-api, then require: (1) the front tier's
+# /v1/passes — shard-invariant facts — byte-identical to the monolith's;
+# (2) /v2/plan to carry a 2-component epoch vector; (3) a 1-shard fleet's
+# /v1/plan byte-identical to the monolith's (the end-to-end merge
+# identity). The federated 2-shard plan legitimately differs only where
+# stations were contended across the partition boundary.
+go build -o "$smokedir/dgs-shard" ./cmd/dgs-shard
+world_flags="-sats 16 -stations 12 -max-span 6h -plan-horizon 15m"
+wait_addr() { # logfile pattern -> bound addr
+    _addr=""
+    for _ in $(seq 1 50); do
+        _addr=$(sed -n "s/.*$2 \([0-9.:]*\).*/\1/p" "$1")
+        [ -n "$_addr" ] && break
+        sleep 0.2
+    done
+    if [ -z "$_addr" ]; then
+        echo "$1 never came up:" >&2; cat "$1" >&2; exit 1
+    fi
+    echo "$_addr"
+}
+# shellcheck disable=SC2086
+"$smokedir/dgs-api" -listen 127.0.0.1:0 $world_flags > "$smokedir/mono.log" 2>&1 &
+mono_pid=$!
+# shellcheck disable=SC2086
+"$smokedir/dgs-shard" -listen 127.0.0.1:0 -shard 0 -shards 2 $world_flags > "$smokedir/shard0.log" 2>&1 &
+shard0_pid=$!
+# shellcheck disable=SC2086
+"$smokedir/dgs-shard" -listen 127.0.0.1:0 -shard 1 -shards 2 $world_flags > "$smokedir/shard1.log" 2>&1 &
+shard1_pid=$!
+mono_addr=$(wait_addr "$smokedir/mono.log" "serving on")
+shard0_addr=$(wait_addr "$smokedir/shard0.log" "satellites) on")
+shard1_addr=$(wait_addr "$smokedir/shard1.log" "satellites) on")
+"$smokedir/dgs-api" -listen 127.0.0.1:0 -shards "$shard0_addr,$shard1_addr" > "$smokedir/front2.log" 2>&1 &
+front2_pid=$!
+front2_addr=$(wait_addr "$smokedir/front2.log" "serving on")
+curl -sf "http://$front2_addr/v1/passes?hours=2" > "$smokedir/fed_passes.json"
+curl -sf "http://$mono_addr/v1/passes?hours=2" > "$smokedir/mono_passes.json"
+cmp "$smokedir/fed_passes.json" "$smokedir/mono_passes.json"
+curl -sf "http://$front2_addr/v2/plan" | grep -q '"epoch_vector":\[[0-9]*,[0-9]*\]' \
+    || { echo "front tier /v2/plan missing 2-component epoch vector" >&2; exit 1; }
+"$smokedir/loadgen" -addr "$front2_addr" -c 4 -d 1s -shards 2
+kill -INT "$front2_pid"; wait "$front2_pid" || { cat "$smokedir/front2.log" >&2; exit 1; }
+# 1-shard fleet: the federated plan must be byte-identical to the monolith.
+# shellcheck disable=SC2086
+"$smokedir/dgs-shard" -listen 127.0.0.1:0 -shard 0 -shards 1 $world_flags > "$smokedir/shard_solo.log" 2>&1 &
+solo_pid=$!
+solo_addr=$(wait_addr "$smokedir/shard_solo.log" "satellites) on")
+"$smokedir/dgs-api" -listen 127.0.0.1:0 -shards "$solo_addr" > "$smokedir/front1.log" 2>&1 &
+front1_pid=$!
+front1_addr=$(wait_addr "$smokedir/front1.log" "serving on")
+curl -sf "http://$front1_addr/v1/plan?hours=0.25" > "$smokedir/fed_plan.json"
+curl -sf "http://$mono_addr/v1/plan?hours=0.25" > "$smokedir/mono_plan.json"
+cmp "$smokedir/fed_plan.json" "$smokedir/mono_plan.json"
+kill -INT "$front1_pid"; wait "$front1_pid" || { cat "$smokedir/front1.log" >&2; exit 1; }
+kill "$solo_pid" "$shard0_pid" "$shard1_pid" "$mono_pid" 2>/dev/null || true
+wait "$solo_pid" "$shard0_pid" "$shard1_pid" "$mono_pid" 2>/dev/null || true
 
 echo "== mega smoke (Walker population, spatial index differential)"
 # A small Walker shell through the pass predictor with the spatial

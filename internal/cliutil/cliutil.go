@@ -9,7 +9,9 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strings"
 	"time"
 )
 
@@ -84,4 +86,27 @@ func Range(name string, v, lo, hi float64) {
 	if v < lo || v > hi {
 		Failf("invalid -%s: must be in [%g, %g] (got %g)", name, v, lo, hi)
 	}
+}
+
+// HostPortList parses a comma-separated host:port list for flag name,
+// requiring every element to be a valid dialable address. Returns the
+// split list with surrounding whitespace trimmed.
+func HostPortList(name, v string) []string {
+	var addrs []string
+	for _, part := range strings.Split(v, ",") {
+		addr := strings.TrimSpace(part)
+		if addr == "" {
+			Failf("invalid -%s: empty address in %q", name, v)
+		}
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil {
+			Failf("invalid -%s: %q: %v", name, addr, err)
+		}
+		if port == "" {
+			Failf("invalid -%s: %q: missing port", name, addr)
+		}
+		_ = host // empty host means localhost by dial convention
+		addrs = append(addrs, addr)
+	}
+	return addrs
 }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"dgs/internal/station"
+)
+
+// StationCaps extracts the per-station simultaneous-link capacities the
+// plan merge resolves contention against. The front tier receives these
+// from shard topology exchange; tests derive them from a Network directly.
+func StationCaps(net station.Network) []int {
+	caps := make([]int, len(net))
+	for j, gs := range net {
+		caps[j] = gs.Capacity()
+	}
+	return caps
+}
+
+// MergePlans combines per-shard plans built over the same slot grid into
+// one constellation-wide plan. The inputs must already be lifted onto the
+// global satellite index space (Plan.RemapSats) and share Issued, SlotDur,
+// and slot count; satellites are expected to be disjoint across parts
+// (each shard plans only its own partition).
+//
+// Stations are the shared resource at shard boundaries: each shard matched
+// its own satellites against the full network, so a station can end up
+// over-subscribed in the union. The merge resolves that deterministically
+// and order-invariantly, per slot:
+//
+//   - assignments are gathered from every part and canonically ordered by
+//     (satellite, station) — the same ascending-satellite order PlanEpoch
+//     emits, so a single-part merge is byte-identical to its input;
+//   - a station with at most caps[station] assignments keeps all of them
+//     verbatim (non-contended stations are untouched);
+//   - an over-subscribed station keeps its top-capacity assignments by
+//     (Weight descending, satellite ascending) and drops the rest — the
+//     losing satellites simply go unserved this slot, exactly as if their
+//     shard had lost the station to a higher-Φ competitor locally.
+//
+// Both rules depend only on the multiset of assignments, never on the
+// order parts are supplied in. The merged Version is the maximum part
+// version (shards bump versions independently; the front tier's epoch
+// vector, not the plan version, is the cross-shard freshness signal).
+func MergePlans(parts []*Plan, caps []int) (*Plan, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: MergePlans: no plans to merge")
+	}
+	base := parts[0]
+	version := base.Version
+	for i, p := range parts[1:] {
+		if !p.Issued.Equal(base.Issued) || p.SlotDur != base.SlotDur || len(p.Slots) != len(base.Slots) {
+			return nil, fmt.Errorf("core: MergePlans: plan %d grid (issued %s, slot %v, %d slots) differs from plan 0 (issued %s, slot %v, %d slots)",
+				i+1, p.Issued, p.SlotDur, len(p.Slots), base.Issued, base.SlotDur, len(base.Slots))
+		}
+		if p.Version > version {
+			version = p.Version
+		}
+	}
+	merged := &Plan{
+		Version: version,
+		Issued:  base.Issued,
+		SlotDur: base.SlotDur,
+		Slots:   make([]Slot, len(base.Slots)),
+	}
+	for k := range merged.Slots {
+		start := base.Slots[k].Start
+		for i, p := range parts[1:] {
+			if !p.Slots[k].Start.Equal(start) {
+				return nil, fmt.Errorf("core: MergePlans: plan %d slot %d starts at %s, plan 0 at %s", i+1, k, p.Slots[k].Start, start)
+			}
+		}
+		merged.Slots[k] = Slot{Start: start, Assignments: mergeSlot(parts, k, caps)}
+	}
+	merged.BuildIndex()
+	return merged, nil
+}
+
+// mergeSlot produces one slot's merged assignment set (nil when no part
+// contributes anything, matching what PlanEpoch emits for an empty slot).
+func mergeSlot(parts []*Plan, k int, caps []int) []Assignment {
+	var all []Assignment
+	for _, p := range parts {
+		all = append(all, p.Slots[k].Assignments...)
+	}
+	if all == nil {
+		return nil
+	}
+	// Canonical order: ascending satellite, station breaking (impossible
+	// for disjoint shards) ties. Order-invariant in the part order.
+	slices.SortFunc(all, func(a, b Assignment) int {
+		if a.Sat != b.Sat {
+			return a.Sat - b.Sat
+		}
+		return a.Station - b.Station
+	})
+	capOf := func(st int) int {
+		if st >= 0 && st < len(caps) && caps[st] > 0 {
+			return caps[st]
+		}
+		return 1
+	}
+	load := make(map[int]int)
+	contended := false
+	for _, a := range all {
+		load[a.Station]++
+		if load[a.Station] > capOf(a.Station) {
+			contended = true
+		}
+	}
+	if !contended {
+		return all
+	}
+	// Resolve each over-subscribed station: rank its assignments by
+	// (Weight desc, Sat asc) and keep the top capacity of them.
+	drop := make(map[int]bool) // index into all
+	for st, n := range load {
+		c := capOf(st)
+		if n <= c {
+			continue
+		}
+		idxs := make([]int, 0, n)
+		for i, a := range all {
+			if a.Station == st {
+				idxs = append(idxs, i)
+			}
+		}
+		slices.SortFunc(idxs, func(i, j int) int {
+			ai, aj := all[i], all[j]
+			if ai.Weight != aj.Weight {
+				if ai.Weight > aj.Weight {
+					return -1
+				}
+				return 1
+			}
+			return ai.Sat - aj.Sat
+		})
+		for _, i := range idxs[c:] {
+			drop[i] = true
+		}
+	}
+	kept := make([]Assignment, 0, len(all)-len(drop))
+	for i, a := range all {
+		if !drop[i] {
+			kept = append(kept, a)
+		}
+	}
+	return kept
+}

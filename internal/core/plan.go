@@ -152,6 +152,31 @@ func (p *Plan) AssignedSlotCount(sat int) int {
 	return n
 }
 
+// RemapSats returns a copy of the plan with every assignment's satellite
+// index translated through global: an assignment for shard-local satellite
+// i becomes one for global[i]. Shard backends plan over their partition's
+// local index space and use this to lift the result onto the
+// constellation-wide numbering before it crosses the shard protocol.
+// global must cover every satellite index the plan references and, for the
+// merged plan to stay canonically ordered, must be ascending (which
+// shard.Partition guarantees).
+func (p *Plan) RemapSats(global []int32) *Plan {
+	q := &Plan{Version: p.Version, Issued: p.Issued, SlotDur: p.SlotDur, Slots: make([]Slot, len(p.Slots))}
+	for k, sl := range p.Slots {
+		ns := Slot{Start: sl.Start}
+		if sl.Assignments != nil {
+			ns.Assignments = make([]Assignment, len(sl.Assignments))
+			for j, a := range sl.Assignments {
+				a.Sat = int(global[a.Sat])
+				ns.Assignments[j] = a
+			}
+		}
+		q.Slots[k] = ns
+	}
+	q.BuildIndex()
+	return q
+}
+
 // Covers reports whether the plan has a slot for time t.
 func (p *Plan) Covers(t time.Time) bool {
 	if p == nil || len(p.Slots) == 0 {

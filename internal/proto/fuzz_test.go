@@ -28,6 +28,9 @@ func FuzzRead(f *testing.F) {
 		seed(&Error{Code: CodeVersion, Msg: "boom"}),
 		seed(&Heartbeat{Seq: 5, Ack: true}),
 		seed(&Resume{StationID: 3, LastSeq: 11}),
+		seed(&ShardQuery{ID: 4, Kind: ShardKindPasses, Body: []byte(`{"from":0}`)}),
+		seed(&ShardReply{ID: 4, Body: []byte(`{"windows":[]}`)}),
+		seed(&ShardEpoch{Epoch: 12}),
 	}
 	for _, v := range valid {
 		f.Add(v)

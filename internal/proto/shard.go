@@ -1,0 +1,133 @@
+package proto
+
+// Shard federation frames. The front tier speaks the same framed protocol
+// to control-plane shard backends that stations speak to the scheduler:
+// the session starts with Hello/OK (version-checked), Resume doubles as
+// the rejoin handshake (LastSeq carries the shard's world epoch), and
+// Heartbeat keeps idle federation links alive. On top of that, ShardQuery
+// and ShardReply form a correlated request/response pair carrying opaque
+// JSON bodies — the serving layer owns the document schemas so the wire
+// layer stays ignorant of plan shapes — and ShardEpoch is the backend's
+// unsolicited push that its world advanced, the signal the front tier
+// turns into federated delta streams.
+
+// Shard message types, continuing the station-protocol numbering.
+const (
+	// TypeShardQuery asks a shard backend a question (request/response).
+	TypeShardQuery MsgType = iota + 9
+	// TypeShardReply answers a ShardQuery with the same ID.
+	TypeShardReply
+	// TypeShardEpoch is a shard's unsolicited world-epoch advance push.
+	TypeShardEpoch
+)
+
+// Shard query kinds carried in ShardQuery.Kind.
+const (
+	// ShardKindInfo asks for the shard's topology document.
+	ShardKindInfo uint8 = iota + 1
+	// ShardKindPlan asks for the shard's current plan.
+	ShardKindPlan
+	// ShardKindPlanAt asks for a scratch plan over an explicit window.
+	ShardKindPlanAt
+	// ShardKindPasses asks for pass windows over a span.
+	ShardKindPasses
+	// ShardKindLinkBudget asks for one link-budget evaluation.
+	ShardKindLinkBudget
+	// ShardKindApply submits a world mutation batch.
+	ShardKindApply
+)
+
+// ShardQuery is a correlated request to a shard backend. ID is chosen by
+// the front tier and echoed in the reply; Kind selects the handler; Body
+// is a kind-specific JSON document (may be empty).
+type ShardQuery struct {
+	ID   uint64
+	Kind uint8
+	Body []byte
+}
+
+// Type implements Message.
+func (*ShardQuery) Type() MsgType { return TypeShardQuery }
+
+func (q *ShardQuery) appendPayload(b []byte) []byte {
+	b = be64(b, q.ID)
+	b = append(b, q.Kind)
+	return blob(b, q.Body)
+}
+
+func (q *ShardQuery) decodePayload(b []byte) error {
+	d := dec{b: b}
+	q.ID = d.u64()
+	q.Kind = d.u8()
+	q.Body = d.blob()
+	return d.err()
+}
+
+// ShardReply answers the ShardQuery with the same ID. A non-empty Err
+// carries a handler failure; Body is the kind-specific JSON answer.
+type ShardReply struct {
+	ID   uint64
+	Err  string
+	Body []byte
+}
+
+// Type implements Message.
+func (*ShardReply) Type() MsgType { return TypeShardReply }
+
+func (r *ShardReply) appendPayload(b []byte) []byte {
+	b = be64(b, r.ID)
+	b = str(b, r.Err)
+	return blob(b, r.Body)
+}
+
+func (r *ShardReply) decodePayload(b []byte) error {
+	d := dec{b: b}
+	r.ID = d.u64()
+	r.Err = d.str()
+	r.Body = d.blob()
+	return d.err()
+}
+
+// ShardEpoch announces that the sending shard's world advanced to Epoch.
+// Unsolicited, backend → front tier only.
+type ShardEpoch struct {
+	Epoch uint64
+}
+
+// Type implements Message.
+func (*ShardEpoch) Type() MsgType { return TypeShardEpoch }
+
+func (e *ShardEpoch) appendPayload(b []byte) []byte { return be64(b, e.Epoch) }
+
+func (e *ShardEpoch) decodePayload(b []byte) error {
+	d := dec{b: b}
+	e.Epoch = d.u64()
+	return d.err()
+}
+
+// blob appends a u32-length-prefixed byte string. Unlike str's u16 prefix
+// it fits plan-sized JSON documents; the frame-level MaxFrameSize still
+// bounds the total.
+func blob(b, v []byte) []byte {
+	b = be32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// blob reads a u32-length-prefixed byte string. The returned slice
+// aliases the frame buffer, which Read allocates per frame, so holding it
+// is safe. An empty blob decodes as nil.
+func (d *dec) blob() []byte {
+	if !d.need(4) {
+		return nil
+	}
+	n := int(d.u32())
+	if n == 0 {
+		return nil
+	}
+	if !d.need(n) {
+		return nil
+	}
+	v := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return v
+}

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dgs/internal/backend"
+)
+
+// The federation test world: small enough that a fleet of shards plus a
+// monolith comparator plan quickly under -race, large enough that both
+// partitions own satellites and station contention actually occurs.
+func fedWorldCfg() SnapshotConfig {
+	return SnapshotConfig{
+		Satellites: 24,
+		Stations:   16,
+		Seed:       1,
+		MaxSpan:    6 * time.Hour,
+		Workers:    2,
+	}
+}
+
+const fedPlanHorizon = 30 * time.Minute
+
+type testShard struct {
+	addr  string
+	srv   *ShardServer
+	store *Store
+}
+
+// startTestShard boots one shard backend. addr "" picks an ephemeral
+// port; restarting on a fixed addr retries briefly while the old
+// listener's port is released.
+func startTestShard(t *testing.T, idx, count int, addr string) *testShard {
+	t.Helper()
+	snap, part, err := NewShardWorld(fedWorldCfg(), idx, count)
+	if err != nil {
+		t.Fatalf("shard %d/%d world: %v", idx, count, err)
+	}
+	store := NewStore(snap, StoreConfig{PlanHorizon: fedPlanHorizon})
+	srv := NewShardServer(store, part)
+	srv.Logf = t.Logf
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var bound string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a, err := srv.Listen(addr)
+		if err == nil {
+			bound = a.String()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d listen %s: %v", idx, addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sh := &testShard{addr: bound, srv: srv, store: store}
+	t.Cleanup(sh.stop)
+	return sh
+}
+
+func (sh *testShard) stop() {
+	sh.srv.Close()
+	sh.store.Close()
+}
+
+func startTestFederator(t *testing.T, addrs []string) *Federator {
+	t.Helper()
+	fed, err := NewFederator(addrs, FederatorConfig{
+		CallTimeout:  10 * time.Second,
+		StartTimeout: 10 * time.Second,
+		Heartbeat:    200 * time.Millisecond,
+		Backoff:      backend.Backoff{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("federator: %v", err)
+	}
+	t.Cleanup(fed.Close)
+	return fed
+}
+
+// monolithHandler builds the single-process comparator over the same
+// world configuration the shard fleet was loaded with.
+func monolithHandler(t *testing.T) http.Handler {
+	t.Helper()
+	snap, err := NewSnapshot(fedWorldCfg())
+	if err != nil {
+		t.Fatalf("monolith snapshot: %v", err)
+	}
+	store := NewStore(snap, StoreConfig{PlanHorizon: fedPlanHorizon})
+	t.Cleanup(store.Close)
+	return NewWithStore(store, Config{}).Handler()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFederationOneShardIdentity is the end-to-end differential half of
+// the merge proof: a 1-shard fleet served through the full wire path —
+// shard store → framed protocol → front-tier merge → HTTP handler — must
+// produce byte-identical v1 responses to the monolith handler over the
+// same world.
+func TestFederationOneShardIdentity(t *testing.T) {
+	sh := startTestShard(t, 0, 1, "")
+	fed := startTestFederator(t, []string{sh.addr})
+	front := NewWithSource(fed, Config{}).Handler()
+	mono := monolithHandler(t)
+
+	for _, url := range []string{
+		"/v1/plan?hours=0.5",
+		"/v1/passes?hours=2",
+		"/v1/passes?sat=3&hours=3",
+		"/v1/passes?station=5&hours=2",
+		"/v1/linkbudget?sat=5&station=2&lead=5m",
+		"/v1/linkbudget?sat=23&station=15",
+	} {
+		f := get(t, front, url)
+		m := get(t, mono, url)
+		if f.Code != http.StatusOK || m.Code != http.StatusOK {
+			t.Fatalf("%s: front %d / mono %d (front body %s)", url, f.Code, m.Code, f.Body.String())
+		}
+		if f.Body.String() != m.Body.String() {
+			t.Errorf("%s: federated response differs from monolith\nfront: %s\nmono:  %s",
+				url, f.Body.String(), m.Body.String())
+		}
+	}
+}
+
+// TestFederationTwoShardMerge exercises a real 2-shard fleet: pass
+// windows (shard-invariant) must still match the monolith byte for byte,
+// the merged plan must be well-formed, and every v2 response must carry
+// the composite epoch vector with a working dotted ETag/304 path.
+func TestFederationTwoShardMerge(t *testing.T) {
+	sh0 := startTestShard(t, 0, 2, "")
+	sh1 := startTestShard(t, 1, 2, "")
+	fed := startTestFederator(t, []string{sh0.addr, sh1.addr})
+	front := NewWithSource(fed, Config{}).Handler()
+	mono := monolithHandler(t)
+
+	// Pass windows are per-satellite facts, independent of the partition:
+	// the federated union must equal the monolith's, byte for byte.
+	for _, url := range []string{"/v1/passes?hours=2", "/v1/passes?sat=7&hours=3"} {
+		f, m := get(t, front, url), get(t, mono, url)
+		if f.Code != http.StatusOK || m.Code != http.StatusOK {
+			t.Fatalf("%s: front %d / mono %d", url, f.Code, m.Code)
+		}
+		if f.Body.String() != m.Body.String() {
+			t.Errorf("%s: 2-shard federated passes differ from monolith", url)
+		}
+	}
+
+	// The merged plan covers the full constellation within capacity.
+	rec := get(t, front, "/v1/plan?hours=0.5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/plan status %d: %s", rec.Code, rec.Body.String())
+	}
+	var plan struct {
+		TotalSlots int `json:"total_slots"`
+		Slots      []struct {
+			Assignments []struct {
+				Sat     int `json:"sat"`
+				Station int `json:"station"`
+			} `json:"assignments"`
+		} `json:"slots"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &plan); err != nil {
+		t.Fatalf("plan decode: %v", err)
+	}
+	if plan.TotalSlots != 30 {
+		t.Fatalf("total_slots = %d, want 30", plan.TotalSlots)
+	}
+	assigned := 0
+	for _, s := range plan.Slots {
+		perStation := map[int]int{}
+		for _, a := range s.Assignments {
+			if a.Sat < 0 || a.Sat >= 24 || a.Station < 0 || a.Station >= 16 {
+				t.Fatalf("merged assignment out of range: %+v", a)
+			}
+			perStation[a.Station]++
+			assigned++
+		}
+		for st, n := range perStation {
+			if n > 4 { // generous: max beams in the synthetic population
+				t.Fatalf("station %d serves %d satellites in one slot", st, n)
+			}
+		}
+	}
+	if assigned == 0 {
+		t.Fatal("merged 2-shard plan scheduled nothing in 30 minutes")
+	}
+
+	// v2 responses carry the 2-component epoch vector and a dotted ETag.
+	v2 := get(t, front, "/v2/plan")
+	if v2.Code != http.StatusOK {
+		t.Fatalf("/v2/plan status %d", v2.Code)
+	}
+	var env struct {
+		EpochVec []uint64 `json:"epoch_vector"`
+		Degraded bool     `json:"degraded"`
+	}
+	if err := json.Unmarshal(v2.Body.Bytes(), &env); err != nil {
+		t.Fatalf("v2 plan decode: %v", err)
+	}
+	if len(env.EpochVec) != 2 {
+		t.Fatalf("epoch_vector = %v, want 2 components", env.EpochVec)
+	}
+	if env.Degraded {
+		t.Fatal("healthy fleet reported degraded")
+	}
+	etag := v2.Header().Get("ETag")
+	if !strings.Contains(etag, ".") {
+		t.Fatalf("federated ETag %q is not a dotted epoch vector", etag)
+	}
+	if hv := v2.Header().Get("X-World-Epoch-Vector"); hv == "" {
+		t.Fatal("missing X-World-Epoch-Vector header")
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v2/plan", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec2 := httptest.NewRecorder()
+	front.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match %q: status %d, want 304", etag, rec2.Code)
+	}
+}
+
+// TestFederationShardLossDegradesAndRejoins is the failover contract:
+// killing a shard degrades the merged world to the surviving partition
+// (marked in the envelope, never an error), and a restarted shard is
+// folded back in through the Resume path with full service restored.
+func TestFederationShardLossDegradesAndRejoins(t *testing.T) {
+	sh0 := startTestShard(t, 0, 2, "")
+	sh1 := startTestShard(t, 1, 2, "")
+	fed := startTestFederator(t, []string{sh0.addr, sh1.addr})
+	front := NewWithSource(fed, Config{}).Handler()
+	mono := monolithHandler(t)
+
+	if w := fed.Current(); w.Degraded() {
+		t.Fatalf("healthy fleet starts degraded: missing %v", w.Missing)
+	}
+
+	// Kill shard 1. The front tier must publish a degraded world covering
+	// shard 0's partition — still HTTP 200 everywhere.
+	addr1 := sh1.addr
+	sh1.stop()
+	waitFor(t, "degraded world after shard loss", func() bool { return fed.Current().Degraded() })
+
+	v2 := get(t, front, "/v2/plan")
+	if v2.Code != http.StatusOK {
+		t.Fatalf("degraded /v2/plan status %d, want 200", v2.Code)
+	}
+	var env struct {
+		Degraded      bool  `json:"degraded"`
+		MissingShards []int `json:"missing_shards"`
+	}
+	if err := json.Unmarshal(v2.Body.Bytes(), &env); err != nil {
+		t.Fatalf("degraded v2 decode: %v", err)
+	}
+	if !env.Degraded || len(env.MissingShards) != 1 || env.MissingShards[0] != 1 {
+		t.Fatalf("degraded envelope = %+v, want missing shard 1", env)
+	}
+	if h := v2.Header().Get("X-World-Degraded"); h != "1" {
+		t.Fatalf("X-World-Degraded = %q, want \"1\"", h)
+	}
+	if rec := get(t, front, "/v1/passes?hours=1"); rec.Code != http.StatusOK {
+		t.Fatalf("degraded /v1/passes status %d, want 200", rec.Code)
+	}
+
+	// Restart shard 1 on its old address (a fresh process: new store, new
+	// world). The reconnect loop must fold it back in without operator
+	// action, and full-fleet responses must match the monolith again.
+	startTestShard(t, 1, 2, addr1)
+	waitFor(t, "recovered world after shard rejoin", func() bool { return !fed.Current().Degraded() })
+
+	f, m := get(t, front, "/v1/passes?hours=2"), get(t, mono, "/v1/passes?hours=2")
+	if f.Code != http.StatusOK || m.Code != http.StatusOK {
+		t.Fatalf("post-rejoin passes: front %d / mono %d", f.Code, m.Code)
+	}
+	if f.Body.String() != m.Body.String() {
+		t.Error("post-rejoin federated passes differ from monolith")
+	}
+}
+
+// TestFederationApplyRoutesUpdates pushes a weather revision through the
+// front tier: every shard must apply it, and the next merged world must
+// reflect the bumped epoch vector and stream a delta to subscribers.
+func TestFederationApplyRoutesUpdates(t *testing.T) {
+	sh0 := startTestShard(t, 0, 2, "")
+	sh1 := startTestShard(t, 1, 2, "")
+	fed := startTestFederator(t, []string{sh0.addr, sh1.addr})
+
+	id, ch, initial, err := fed.Subscribe()
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer fed.Unsubscribe(id)
+	if !strings.Contains(string(initial), "event: plan") {
+		t.Fatalf("initial stream event = %q, want a plan event", initial)
+	}
+
+	before := fed.Current()
+	res, err := fed.Apply(Update{Weather: &WeatherUpdate{Seed: 7, ErrFraction: 0.2}})
+	if err != nil {
+		t.Fatalf("federated apply: %v", err)
+	}
+	if res.Epoch <= before.Epoch {
+		t.Fatalf("apply epoch %d did not advance past %d", res.Epoch, before.Epoch)
+	}
+	if sh0.store.Epoch() < 2 || sh1.store.Epoch() < 2 {
+		t.Fatalf("shard epochs = %d/%d, want both bumped by the broadcast",
+			sh0.store.Epoch(), sh1.store.Epoch())
+	}
+	after := fed.Current()
+	if len(after.EpochVec) != 2 || after.EpochVec[0] < 2 || after.EpochVec[1] < 2 {
+		t.Fatalf("epoch vector %v, want both components >= 2", after.EpochVec)
+	}
+
+	select {
+	case ev := <-ch:
+		if !strings.Contains(string(ev), "event: delta") {
+			t.Fatalf("stream event = %q, want a delta", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delta event after federated apply")
+	}
+
+	// An update touching an unknown satellite index must be rejected as a
+	// bad update without crashing the fleet.
+	bad := 99
+	_, err = fed.Apply(Update{TLEs: []TLEUpdate{{Sat: &bad, Line1: "x", Line2: "y"}}})
+	if err == nil || !IsUpdateError(err) {
+		t.Fatalf("out-of-range TLE update: err = %v, want a bad-update error", err)
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"time"
+
+	"dgs/internal/core"
+	"dgs/internal/passes"
+)
+
+// The shard federation documents: JSON bodies carried inside
+// proto.ShardQuery/ShardReply frames between the front tier and shard
+// backends. Every satellite index on this wire is GLOBAL (the full
+// constellation's population index): the shard server translates to its
+// local partition indices on the way in and lifts results back through
+// shard.Partition.Global on the way out, so the front tier never needs to
+// know how a shard numbers its satellites internally.
+
+// shardInfoDoc is the topology document (ShardKindInfo): everything the
+// front tier needs to validate a fleet and build its federated view.
+type shardInfoDoc struct {
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Sats is the FULL constellation size; OwnedSats the partition's.
+	Sats      int `json:"sats"`
+	OwnedSats int `json:"owned_sats"`
+	Stations  int `json:"stations"`
+	// Caps is the per-station capacity vector plan merging resolves
+	// contention against (identical on every shard).
+	Caps []int `json:"caps"`
+	// Seed/Epoch/Slot/MaxSpan pin the world grid; mismatched shards are a
+	// deployment error the front tier refuses at startup.
+	Seed        int64         `json:"seed"`
+	Epoch       time.Time     `json:"epoch"`
+	Slot        time.Duration `json:"slot_ns"`
+	MaxSpan     time.Duration `json:"max_span_ns"`
+	PlanHorizon time.Duration `json:"plan_horizon_ns"`
+	// Global is the partition: the ascending global indices this shard owns.
+	Global []int32 `json:"global"`
+	// WorldEpoch is the shard's world epoch at reply time.
+	WorldEpoch uint64 `json:"world_epoch"`
+}
+
+// shardPlanDoc answers ShardKindPlan (the live plan) and ShardKindPlanAt
+// (a scratch plan): the shard's plan lifted onto global satellite
+// indices, with the world epoch it was read from. core.Plan's exported
+// fields round-trip losslessly through JSON (shortest-form floats,
+// RFC3339Nano times), which is what keeps federated plan bytes identical
+// to in-process ones.
+type shardPlanDoc struct {
+	WorldEpoch uint64     `json:"world_epoch"`
+	Plan       *core.Plan `json:"plan"`
+}
+
+// shardPlanAtQuery asks for a scratch plan over an explicit window.
+type shardPlanAtQuery struct {
+	From    time.Time     `json:"from"`
+	Horizon time.Duration `json:"horizon_ns"`
+	Slot    time.Duration `json:"slot_ns"`
+}
+
+// shardPassesQuery asks for contact windows (Sat global, -1 = all).
+type shardPassesQuery struct {
+	From    time.Time `json:"from"`
+	To      time.Time `json:"to"`
+	Sat     int       `json:"sat"`
+	Station int       `json:"station"`
+}
+
+// shardPassesDoc is the pass-window answer, Sat lifted to global.
+type shardPassesDoc struct {
+	WorldEpoch uint64          `json:"world_epoch"`
+	Windows    []passes.Window `json:"windows"`
+}
+
+// shardLinkBudgetQuery asks for one link evaluation (Sat global).
+type shardLinkBudgetQuery struct {
+	Sat     int           `json:"sat"`
+	Station int           `json:"station"`
+	T       time.Time     `json:"t"`
+	Lead    time.Duration `json:"lead_ns"`
+}
+
+// shardApplyQuery submits a world mutation. TLE updates arrive with
+// LOCAL sat indices (the front tier routes each update to the owning
+// shard and translates); weather and station changes are broadcast
+// verbatim to every shard so the fleet's shared state stays aligned.
+type shardApplyQuery struct {
+	Update Update `json:"update"`
+}
+
+// shardApplyReply carries the apply outcome; Bad marks a malformed
+// update (HTTP 400) as opposed to a shard-side failure.
+type shardApplyReply struct {
+	Result ApplyResult `json:"result"`
+	Bad    bool        `json:"bad,omitempty"`
+	Err    string      `json:"err,omitempty"`
+}

@@ -46,7 +46,7 @@ func (c Config) withDefaults() Config {
 // computed against one world version is never served for another, and
 // requests from different epochs never merge into one computation.
 type Server struct {
-	store *Store
+	store WorldSource
 	cfg   Config
 	cache *lruCache
 	fl    flightGroup
@@ -75,9 +75,16 @@ func New(snap *Snapshot, cfg Config) *Server {
 // NewWithStore builds a Server over an existing store (possibly still
 // building its first world — queries 503 until it lands).
 func NewWithStore(store *Store, cfg Config) *Server {
+	return NewWithSource(store, cfg)
+}
+
+// NewWithSource builds a Server over any world source — a single-process
+// Store or a Federator fronting shard backends. The handlers are
+// identical either way; only the source decides where worlds come from.
+func NewWithSource(src WorldSource, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		store: store,
+		store: src,
 		cfg:   cfg,
 		cache: newLRU(cfg.CacheEntries),
 		adm:   newAdmission(cfg.MaxInFlight),
@@ -98,8 +105,16 @@ func NewWithStore(store *Store, cfg Config) *Server {
 	return s
 }
 
-// Store returns the server's world store (shutdown calls Close on it).
-func (s *Server) Store() *Store { return s.store }
+// Store returns the server's world store when it is a single-process
+// *Store, nil when the server fronts a different source (shutdown should
+// call Source().Close() instead).
+func (s *Server) Store() *Store {
+	st, _ := s.store.(*Store)
+	return st
+}
+
+// Source returns the server's world source (shutdown calls Close on it).
+func (s *Server) Source() WorldSource { return s.store }
 
 // Stats snapshots one endpoint's counters ("passes", "plan",
 // "linkbudget", "updates").
@@ -240,16 +255,38 @@ func (s *Server) acquireWorld(w http.ResponseWriter) (*World, bool) {
 		return nil, false
 	}
 	w.Header().Set("X-World-Epoch", strconv.FormatUint(world.Epoch, 10))
+	if len(world.EpochVec) > 0 {
+		var b []byte
+		for i, e := range world.EpochVec {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, e, 10)
+		}
+		w.Header().Set("X-World-Epoch-Vector", string(b))
+	}
+	if world.Degraded() {
+		var b []byte
+		for i, sh := range world.Missing {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(sh), 10)
+		}
+		w.Header().Set("X-World-Degraded", string(b))
+	}
 	return world, true
 }
 
-// epochETag is the strong validator of every epoch-tagged v2 response.
+// epochETag is the strong validator of a monolith epoch-tagged response;
+// federated worlds use the dotted vector form (World.etag).
 func epochETag(epoch uint64) string { return `"` + strconv.FormatUint(epoch, 10) + `"` }
 
 // notModified handles conditional revalidation: when the client's
-// If-None-Match already names this epoch, reply 304 with no body.
-func notModified(w http.ResponseWriter, r *http.Request, epoch uint64) bool {
-	etag := epochETag(epoch)
+// If-None-Match already names this world's validator — the epoch, or in
+// federated serving the full epoch vector — reply 304 with no body.
+func notModified(w http.ResponseWriter, r *http.Request, world *World) bool {
+	etag := world.etag()
 	w.Header().Set("ETag", etag)
 	if inm := r.Header.Get("If-None-Match"); inm == etag || inm == "*" {
 		w.WriteHeader(http.StatusNotModified)
@@ -350,9 +387,9 @@ func parseDuration(r *http.Request, name string, def time.Duration) (time.Durati
 	return d, nil
 }
 
-// checkSpan validates a [from, to) query range against the snapshot's
+// checkSpan validates a [from, to) query range against the world's
 // servable horizon.
-func checkSpan(snap *Snapshot, from, to time.Time) *httpError {
+func checkSpan(snap WorldView, from, to time.Time) *httpError {
 	if !to.After(from) {
 		return badRequest("empty range: to %s is not after from %s", to.Format(time.RFC3339), from.Format(time.RFC3339))
 	}
@@ -401,7 +438,7 @@ type passesQuery struct {
 	from, to time.Time
 }
 
-func parsePassesQuery(r *http.Request, snap *Snapshot) (passesQuery, *httpError) {
+func parsePassesQuery(r *http.Request, snap WorldView) (passesQuery, *httpError) {
 	var q passesQuery
 	sat, herr := parseInt(r, "sat", -1)
 	if herr == nil && (sat < -1 || sat >= snap.Sats()) {
@@ -437,7 +474,7 @@ func parsePassesQuery(r *http.Request, snap *Snapshot) (passesQuery, *httpError)
 	return q, nil
 }
 
-func passesWire(snap *Snapshot, q passesQuery) passesResponse {
+func passesWire(snap WorldView, q passesQuery) passesResponse {
 	ws := snap.Passes(q.from, q.to, q.sat, q.gs)
 	resp := passesResponse{
 		From: q.from, To: q.to, Sat: q.sat, Station: q.gs,
@@ -495,7 +532,7 @@ func (s *Server) handlePassesV2(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, herr)
 		return
 	}
-	if notModified(w, r, world.Epoch) {
+	if notModified(w, r, world) {
 		return
 	}
 	key := fmt.Sprintf("e%d|v2passes|%d|%d|%d|%d", world.Epoch, q.sat, q.gs, q.from.UnixNano(), q.to.UnixNano())
@@ -527,10 +564,18 @@ type planResponse struct {
 	Slots       []planSlot `json:"slots"`
 }
 
-// planV2Response is the epoch-tagged live-plan shape.
+// planV2Response is the epoch-tagged live-plan shape. The federated
+// fields are omitempty so monolith bodies stay byte-frozen: a
+// single-process world never sets them.
 type planV2Response struct {
 	Epoch       uint64 `json:"epoch"`
 	PlanVersion int    `json:"plan_version"`
+	// EpochVec is the composite per-shard epoch vector of a federated
+	// world; Degraded and MissingShards mark partial coverage after a
+	// shard loss (degradation is an annotated response, never an error).
+	EpochVec      []uint64 `json:"epoch_vector,omitempty"`
+	Degraded      bool     `json:"degraded,omitempty"`
+	MissingShards []int    `json:"missing_shards,omitempty"`
 	planResponse
 }
 
@@ -538,10 +583,13 @@ type planV2Response struct {
 // changed (with their full new assignment sets) and the slots whose
 // assignments vanished entirely.
 type planDeltaEvent struct {
-	Epoch       uint64      `json:"epoch"`
-	PlanVersion int         `json:"plan_version"`
-	Changed     []planSlot  `json:"changed"`
-	Removed     []time.Time `json:"removed"`
+	Epoch         uint64      `json:"epoch"`
+	PlanVersion   int         `json:"plan_version"`
+	EpochVec      []uint64    `json:"epoch_vector,omitempty"`
+	Degraded      bool        `json:"degraded,omitempty"`
+	MissingShards []int       `json:"missing_shards,omitempty"`
+	Changed       []planSlot  `json:"changed"`
+	Removed       []time.Time `json:"removed"`
 }
 
 func planWire(plan *core.Plan) planResponse {
@@ -571,9 +619,12 @@ func planWire(plan *core.Plan) planResponse {
 // (no trailing newline — the SSE path embeds it as one data line).
 func marshalPlanV2(w *World) []byte {
 	b, err := json.Marshal(planV2Response{
-		Epoch:        w.Epoch,
-		PlanVersion:  w.Plan.Version,
-		planResponse: planWire(w.Plan),
+		Epoch:         w.Epoch,
+		PlanVersion:   w.Plan.Version,
+		EpochVec:      w.EpochVec,
+		Degraded:      w.Degraded(),
+		MissingShards: w.Missing,
+		planResponse:  planWire(w.Plan),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("serve: plan marshal: %v", err))
@@ -585,10 +636,13 @@ func marshalPlanV2(w *World) []byte {
 // on their shared slot grid and renders the delta event payload.
 func marshalPlanDelta(w *World, prev *core.Plan) []byte {
 	ev := planDeltaEvent{
-		Epoch:       w.Epoch,
-		PlanVersion: w.Plan.Version,
-		Changed:     []planSlot{},
-		Removed:     []time.Time{},
+		Epoch:         w.Epoch,
+		PlanVersion:   w.Plan.Version,
+		EpochVec:      w.EpochVec,
+		Degraded:      w.Degraded(),
+		MissingShards: w.Missing,
+		Changed:       []planSlot{},
+		Removed:       []time.Time{},
 	}
 	wireSlot := func(sl core.Slot) planSlot {
 		out := planSlot{Start: sl.Start, Assignments: make([]planAssignment, 0, len(sl.Assignments))}
@@ -690,7 +744,7 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer world.Release()
-	if notModified(w, r, world.Epoch) {
+	if notModified(w, r, world) {
 		return
 	}
 	st.hits.Add(1) // prebuilt: the live plan is always a cache hit

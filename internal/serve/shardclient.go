@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgs/internal/backend"
+	"dgs/internal/proto"
+)
+
+// shardClient is the front tier's managed session to one shard backend:
+// it dials, handshakes (Hello → OK, then a Resume probe that doubles as
+// the rejoin path — LastSeq carries the shard's world epoch), correlates
+// ShardQuery/ShardReply pairs, heartbeats across idle stretches, and
+// reconnects with deterministic-under-seed exponential backoff when the
+// session dies. Connectivity transitions and epoch pushes kick onEvent so
+// the Federator can rebuild its merged world.
+type shardClient struct {
+	idx     int
+	addr    string
+	dial    func(addr string) (net.Conn, error)
+	logf    func(format string, args ...any)
+	onEvent func()
+	bo      backend.Backoff
+	hb      time.Duration // heartbeat interval
+	timeout time.Duration // per-frame I/O deadline
+
+	epoch atomic.Uint64 // last pushed/resumed shard world epoch
+
+	wmu sync.Mutex // serializes frames on the live connection
+
+	mu      sync.Mutex
+	conn    net.Conn
+	alive   bool
+	pending map[uint64]chan *proto.ShardReply
+	nextID  uint64
+	closed  bool
+	done    chan struct{}
+}
+
+func newShardClient(idx int, addr string, dial func(string) (net.Conn, error), hb, timeout time.Duration, bo backend.Backoff, logf func(string, ...any), onEvent func()) *shardClient {
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.DialTimeout("tcp", a, 5*time.Second) }
+	}
+	c := &shardClient{
+		idx:     idx,
+		addr:    addr,
+		dial:    dial,
+		logf:    logf,
+		onEvent: onEvent,
+		bo:      bo,
+		hb:      hb,
+		timeout: timeout,
+		pending: make(map[uint64]chan *proto.ShardReply),
+		done:    make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// Alive reports whether the session is currently established.
+func (c *shardClient) Alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive
+}
+
+// Epoch returns the shard's last known world epoch.
+func (c *shardClient) Epoch() uint64 { return c.epoch.Load() }
+
+func (c *shardClient) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.done)
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// run is the session lifecycle loop: dial, serve, tear down, back off,
+// repeat. The backoff rng is seeded by the shard index, so a chaos
+// schedule replays the same reconnect cadence every run.
+func (c *shardClient) run() {
+	rng := rand.New(rand.NewSource(0x5eed<<8 | int64(c.idx)))
+	attempt := 0
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		conn, err := c.dialSession()
+		if err != nil {
+			d := c.bo.Delay(attempt, rng)
+			attempt++
+			select {
+			case <-time.After(d):
+			case <-c.done:
+				return
+			}
+			continue
+		}
+		attempt = 0
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conn = conn
+		c.alive = true
+		c.mu.Unlock()
+		c.kick()
+
+		hbDone := make(chan struct{})
+		go c.heartbeatLoop(conn, hbDone)
+		c.readLoop(conn)
+		close(hbDone)
+
+		c.mu.Lock()
+		c.alive = false
+		c.conn = nil
+		// Fail every in-flight call: the reply can never arrive on a new
+		// session (IDs are session-scoped on the wire but unique here, and
+		// the server's state died with the connection).
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			close(ch)
+		}
+		c.mu.Unlock()
+		conn.Close()
+		c.kick()
+	}
+}
+
+func (c *shardClient) kick() {
+	if c.onEvent != nil {
+		c.onEvent()
+	}
+}
+
+// dialSession establishes one authenticated session: Hello/OK then the
+// Resume probe. Unsolicited epoch pushes may interleave; they are
+// absorbed here like everywhere else.
+func (c *shardClient) dialSession() (net.Conn, error) {
+	conn, err := c.dial(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (net.Conn, error) {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if err := proto.Write(conn, &proto.Hello{Version: proto.Version, StationID: uint32(c.idx), Name: fmt.Sprintf("front/%d", c.idx)}); err != nil {
+		return fail(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(c.timeout))
+	msg, err := proto.Read(conn)
+	if err != nil {
+		return fail(err)
+	}
+	switch m := msg.(type) {
+	case *proto.OK:
+	case *proto.Error:
+		return fail(m)
+	default:
+		return fail(fmt.Errorf("serve: unexpected handshake reply %T", msg))
+	}
+	if err := proto.Write(conn, &proto.Resume{StationID: uint32(c.idx)}); err != nil {
+		return fail(err)
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(c.timeout))
+		msg, err := proto.Read(conn)
+		if err != nil {
+			return fail(err)
+		}
+		switch m := msg.(type) {
+		case *proto.Resume:
+			c.epoch.Store(m.LastSeq)
+			return conn, nil
+		case *proto.ShardEpoch:
+			c.epoch.Store(m.Epoch)
+		case *proto.Heartbeat:
+		default:
+			return fail(fmt.Errorf("serve: unexpected resume reply %T", msg))
+		}
+	}
+}
+
+func (c *shardClient) heartbeatLoop(conn net.Conn, done chan struct{}) {
+	t := time.NewTicker(c.hb)
+	defer t.Stop()
+	seq := uint64(0)
+	for {
+		select {
+		case <-t.C:
+			seq++
+			if err := c.write(conn, &proto.Heartbeat{Seq: seq}); err != nil {
+				conn.Close()
+				return
+			}
+		case <-done:
+			return
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *shardClient) write(conn net.Conn, m proto.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	return proto.Write(conn, m)
+}
+
+// readLoop demultiplexes the session until it dies. The read deadline is
+// refreshed per frame; heartbeat acks (echoed every hb) keep a healthy
+// idle session inside it.
+func (c *shardClient) readLoop(conn net.Conn) {
+	deadline := 3 * c.hb
+	if deadline < c.timeout {
+		deadline = c.timeout
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(deadline))
+		msg, err := proto.Read(conn)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *proto.ShardReply:
+			c.mu.Lock()
+			ch, ok := c.pending[m.ID]
+			if ok {
+				delete(c.pending, m.ID)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+		case *proto.ShardEpoch:
+			c.epoch.Store(m.Epoch)
+			c.kick()
+		case *proto.Heartbeat:
+			// ack of our ping (or a stray ping — either refreshes liveness)
+		default:
+			return // protocol confusion: reconnect
+		}
+	}
+}
+
+// call issues one correlated query and waits for its reply. Fails fast
+// when the session is down — the Federator degrades rather than blocks.
+func (c *shardClient) call(kind uint8, body []byte, timeout time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	if !c.alive {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("serve: shard %d unreachable", c.idx)
+	}
+	conn := c.conn
+	id := c.nextID
+	c.nextID++
+	ch := make(chan *proto.ShardReply, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	drop := func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}
+	if err := c.write(conn, &proto.ShardQuery{ID: id, Kind: kind, Body: body}); err != nil {
+		drop()
+		conn.Close()
+		return nil, fmt.Errorf("serve: shard %d: %w", c.idx, err)
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("serve: shard %d session lost mid-call", c.idx)
+		}
+		if reply.Err != "" {
+			return nil, fmt.Errorf("serve: shard %d: %s", c.idx, reply.Err)
+		}
+		return reply.Body, nil
+	case <-t.C:
+		drop()
+		return nil, fmt.Errorf("serve: shard %d query timed out", c.idx)
+	case <-c.done:
+		drop()
+		return nil, fmt.Errorf("serve: federator closed")
+	}
+}

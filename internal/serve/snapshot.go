@@ -14,6 +14,7 @@ import (
 	"dgs/internal/passes"
 	"dgs/internal/poscache"
 	"dgs/internal/sgp4"
+	"dgs/internal/shard"
 	"dgs/internal/station"
 	"dgs/internal/tle"
 	"dgs/internal/weather"
@@ -112,8 +113,54 @@ type Snapshot struct {
 // NewSnapshot synthesizes and loads the world a SnapshotConfig describes.
 func NewSnapshot(cfg SnapshotConfig) (*Snapshot, error) {
 	cfg = cfg.withDefaults()
+	tles, net := synthesize(cfg)
+	return newSnapshotLoaded(cfg, tles, net)
+}
+
+// NewShardWorld loads the slice of the world one control-plane shard
+// owns: the full constellation is synthesized exactly as NewSnapshot
+// would, then reduced to the partition the pinned shard.Map assigns to
+// shard idx of count. The station network stays complete — stations are
+// the shared resource the front tier resolves contention over — so the
+// returned snapshot plans the shard's satellites against every station,
+// in local satellite indices 0..Partition.Len()-1. The caller translates
+// through the returned Partition when speaking global indices.
+func NewShardWorld(cfg SnapshotConfig, idx, count int) (*Snapshot, shard.Partition, error) {
+	cfg = cfg.withDefaults()
+	if idx < 0 || idx >= count {
+		return nil, shard.Partition{}, fmt.Errorf("serve: shard %d out of range [0, %d)", idx, count)
+	}
+	tles, net := synthesize(cfg)
+	norads := make([]int, len(tles))
+	for i, el := range tles {
+		norads[i] = el.NoradID
+	}
+	part := shard.New(count).Partition(norads, idx)
+	if part.Len() == 0 {
+		return nil, part, fmt.Errorf("serve: shard %d/%d owns no satellites of a %d-satellite constellation — use fewer shards", idx, count, len(tles))
+	}
+	sub := make([]tle.TLE, part.Len())
+	for i, g := range part.Global {
+		sub[i] = tles[g]
+	}
+	snap, err := newSnapshotLoaded(cfg, sub, net)
+	if err != nil {
+		return nil, part, err
+	}
+	return snap, part, nil
+}
+
+// synthesize builds the full deterministic population for a config.
+func synthesize(cfg SnapshotConfig) ([]tle.TLE, station.Network) {
 	tles := dataset.Satellites(dataset.SatelliteOptions{N: cfg.Satellites, Seed: cfg.Seed + 1, Epoch: cfg.Epoch})
 	net := dataset.Stations(dataset.StationOptions{N: cfg.Stations, Seed: cfg.Seed + 2, TxFraction: cfg.TxFraction})
+	return tles, net
+}
+
+// newSnapshotLoaded loads a snapshot over an explicit population (cfg
+// must already have defaults resolved; the satellite set may be a shard
+// subset of cfg.Satellites).
+func newSnapshotLoaded(cfg SnapshotConfig, tles []tle.TLE, net station.Network) (*Snapshot, error) {
 	if err := net.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"dgs/internal/core"
+	"dgs/internal/passes"
+)
+
+// WorldView is the read surface of one immutable world version: everything
+// the HTTP handlers need to answer pass, link-budget, and plan queries.
+// The monolith implementation is *Snapshot (an in-process population); the
+// federated implementation fans the same queries out to shard backends and
+// merges. Implementations must be safe for concurrent use and
+// deterministic for a fixed world version.
+type WorldView interface {
+	// Config returns the resolved world configuration (grid, span, sizes).
+	Config() SnapshotConfig
+	// Sats and Stations return the population sizes.
+	Sats() int
+	Stations() int
+	// Quantize floors t onto the world's slot grid.
+	Quantize(t time.Time) time.Time
+	// InSpan reports whether t falls inside the servable horizon.
+	InSpan(t time.Time) bool
+	// Passes predicts contact windows over [from, to), optionally filtered
+	// to one satellite and/or station (-1 = all).
+	Passes(from, to time.Time, sat, gs int) passes.Windows
+	// LinkBudgetAt evaluates one satellite–station link at a grid instant.
+	LinkBudgetAt(sat, gs int, t time.Time, lead time.Duration) LinkBudget
+	// Plan builds an ad-hoc schedule over [from, from+horizon).
+	Plan(from time.Time, horizon, slot time.Duration) *core.Plan
+}
+
+// WorldSource is the versioned-world store interface the Server consumes.
+// *Store is the single-process implementation; *Federator implements the
+// same contract over a fleet of shard backends, which is what lets the v1
+// and v2 handlers serve either topology unchanged.
+type WorldSource interface {
+	// Acquire returns the current world with its refcount taken, or false
+	// before the first world is published. Callers must Release.
+	Acquire() (*World, bool)
+	// Current returns the current world without taking a reference.
+	Current() *World
+	// Epoch returns the current world epoch (0 before the first publish).
+	Epoch() uint64
+	// Err reports a failed initial build.
+	Err() error
+	// Apply publishes a world mutation batch as the next epoch.
+	Apply(Update) (ApplyResult, error)
+	// Subscribe/Unsubscribe manage plan-stream subscribers (see Store).
+	Subscribe() (id int, ch <-chan []byte, initial []byte, err error)
+	Unsubscribe(id int)
+	// Subscribers returns the number of connected stream subscribers.
+	Subscribers() int
+	// RetiredWorlds returns how many superseded worlds still have readers.
+	RetiredWorlds() int
+	// Close shuts the source down for graceful drain.
+	Close()
+}
+
+// subHub is the plan-stream subscriber registry shared by Store and
+// Federator: non-blocking broadcast with slow-consumer eviction.
+type subHub struct {
+	mu   sync.Mutex
+	subs map[int]chan []byte
+	next int
+	buf  int
+}
+
+func newSubHub(buf int) *subHub {
+	return &subHub{subs: make(map[int]chan []byte), buf: buf}
+}
+
+// add registers a subscriber; ok is false after closeAll.
+func (h *subHub) add() (id int, ch chan []byte, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.subs == nil {
+		return 0, nil, false
+	}
+	c := make(chan []byte, h.buf)
+	id = h.next
+	h.next++
+	h.subs[id] = c
+	return id, c, true
+}
+
+// remove drops a subscriber. Safe after eviction or closeAll.
+func (h *subHub) remove(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c, ok := h.subs[id]; ok {
+		delete(h.subs, id)
+		close(c)
+	}
+}
+
+func (h *subHub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// broadcast delivers an event to every subscriber without blocking the
+// writer: a subscriber with a full buffer is evicted (closed), because a
+// stalled consumer must not delay the epoch swap.
+func (h *subHub) broadcast(ev []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, c := range h.subs {
+		select {
+		case c <- ev:
+		default:
+			delete(h.subs, id)
+			close(c)
+		}
+	}
+}
+
+// closeAll closes every subscriber channel and refuses further adds.
+func (h *subHub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, c := range h.subs {
+		delete(h.subs, id)
+		close(c)
+	}
+	h.subs = nil
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,21 +45,55 @@ func (c StoreConfig) withDefaults() StoreConfig {
 // an epoch swap never mutates a published World, so a request observes
 // one consistent world even while updates land.
 type World struct {
-	// Epoch is the monotonic world version (1 is the first build).
+	// Epoch is the monotonic world version (1 is the first build). In a
+	// federated world it is the front tier's own counter, bumped on every
+	// merged rebuild.
 	Epoch uint64
 	// Built is when this world version was assembled.
 	Built time.Time
 	// Snap serves pass, link-budget, and ad-hoc plan queries.
-	Snap *Snapshot
+	Snap WorldView
 	// Plan is the live incrementally maintained plan.
 	Plan *core.Plan
 	// ChangedSlots is how many plan slots the producing update re-evaluated
 	// (the full horizon for the initial build).
 	ChangedSlots int
 
+	// EpochVec, set only on federated worlds, is the composite epoch
+	// vector: component s is the world epoch of shard s this merged world
+	// was built from (the last-known epoch for a currently missing shard).
+	// Monolith worlds leave it nil, which keeps their wire bodies frozen.
+	EpochVec []uint64
+	// Missing, set only on federated worlds, lists the shards whose
+	// partitions this world does not cover (degraded serving).
+	Missing []int
+
 	planJSON []byte // canonical /v2/plan body, no trailing newline
 	refs     atomic.Int64
 }
+
+// etag is the strong validator of every epoch-tagged v2 response: the
+// bare epoch for monolith worlds, the dotted epoch vector for federated
+// ones (so a 304 certifies every component, not just the local counter).
+func (w *World) etag() string {
+	if len(w.EpochVec) == 0 {
+		return `"` + strconv.FormatUint(w.Epoch, 10) + `"`
+	}
+	var b []byte
+	b = append(b, '"')
+	for i, e := range w.EpochVec {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = strconv.AppendUint(b, e, 10)
+	}
+	b = append(b, '"')
+	return string(b)
+}
+
+// Degraded reports whether this world covers only part of the
+// constellation (one or more shards missing).
+func (w *World) Degraded() bool { return len(w.Missing) > 0 }
 
 // Refs returns the number of requests currently serving from this world.
 // Draining is observable, not enforced: a retired world stays valid until
@@ -87,9 +122,7 @@ type Store struct {
 
 	ready chan struct{} // closed once the first world (or buildErr) lands
 
-	subMu   sync.Mutex
-	subs    map[int]chan []byte
-	nextSub int
+	hub *subHub
 }
 
 // NewStore builds a store over a loaded snapshot, synchronously building
@@ -121,10 +154,11 @@ func OpenStore(load func() (*Snapshot, error), cfg StoreConfig) *Store {
 }
 
 func newStoreShell(cfg StoreConfig) *Store {
+	cfg = cfg.withDefaults()
 	return &Store{
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
 		ready: make(chan struct{}),
-		subs:  make(map[int]chan []byte),
+		hub:   newSubHub(cfg.SubBuffer),
 	}
 }
 
@@ -224,11 +258,7 @@ func (s *Store) HasNorad(id int) bool {
 }
 
 // Subscribers returns the number of connected plan-stream subscribers.
-func (s *Store) Subscribers() int {
-	s.subMu.Lock()
-	defer s.subMu.Unlock()
-	return len(s.subs)
-}
+func (s *Store) Subscribers() int { return s.hub.count() }
 
 // ---- the delta-ingestion wire format ----
 
@@ -387,7 +417,7 @@ func (s *Store) Apply(u Update) (ApplyResult, error) {
 		} else {
 			errFrac := u.Weather.ErrFraction
 			if errFrac <= 0 {
-				errFrac = old.Snap.cfg.ForecastErr
+				errFrac = old.Snap.Config().ForecastErr
 			}
 			s.fc = weather.NewForecast(weather.NewField(u.Weather.Seed), errFrac)
 		}
@@ -405,7 +435,7 @@ func (s *Store) Apply(u Update) (ApplyResult, error) {
 	}
 
 	plan := s.ip.Replan()
-	snap := old.Snap.rederive(s.ip, s.tles, s.fc)
+	snap := old.Snap.(*Snapshot).rederive(s.ip, s.tles, s.fc)
 	w := &World{
 		Epoch:        old.Epoch + 1,
 		Built:        time.Now(),
@@ -451,43 +481,18 @@ func (s *Store) Subscribe() (id int, ch <-chan []byte, initial []byte, err error
 	if w == nil {
 		return 0, nil, nil, fmt.Errorf("serve: store not ready")
 	}
-	s.subMu.Lock()
-	defer s.subMu.Unlock()
-	if s.subs == nil {
+	id, c, ok := s.hub.add()
+	if !ok {
 		return 0, nil, nil, fmt.Errorf("serve: store closed")
 	}
-	c := make(chan []byte, s.cfg.SubBuffer)
-	id = s.nextSub
-	s.nextSub++
-	s.subs[id] = c
 	return id, c, sseEvent("plan", w.Epoch, w.planJSON), nil
 }
 
 // Unsubscribe removes a subscriber. Safe after the store evicted it.
-func (s *Store) Unsubscribe(id int) {
-	s.subMu.Lock()
-	defer s.subMu.Unlock()
-	if c, ok := s.subs[id]; ok {
-		delete(s.subs, id)
-		close(c)
-	}
-}
+func (s *Store) Unsubscribe(id int) { s.hub.remove(id) }
 
-// broadcast delivers an event to every subscriber without blocking the
-// writer: a subscriber with a full buffer is evicted (closed), because a
-// stalled consumer must not delay the epoch swap.
-func (s *Store) broadcast(ev []byte) {
-	s.subMu.Lock()
-	defer s.subMu.Unlock()
-	for id, c := range s.subs {
-		select {
-		case c <- ev:
-		default:
-			delete(s.subs, id)
-			close(c)
-		}
-	}
-}
+// broadcast delivers an event to every subscriber (see subHub.broadcast).
+func (s *Store) broadcast(ev []byte) { s.hub.broadcast(ev) }
 
 // Close shuts the store down: further Applies fail and every stream
 // subscriber's channel is closed so streaming handlers finish — the
@@ -496,13 +501,7 @@ func (s *Store) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
-	s.subMu.Lock()
-	for id, c := range s.subs {
-		delete(s.subs, id)
-		close(c)
-	}
-	s.subs = nil
-	s.subMu.Unlock()
+	s.hub.closeAll()
 }
 
 // sseEvent formats one server-sent event: the event name, the world epoch

@@ -11,10 +11,17 @@
 // every subscriber must receive the initial plan event, and at least one
 // delta whenever an update was accepted.
 //
+// Against a federated front tier (dgs-api -shards), -shards N adds a
+// consistency probe that polls /v2/plan through the run and asserts every
+// response carries an N-component epoch vector matching its
+// X-World-Epoch-Vector header, with no component ever moving backwards —
+// i.e. no torn federated reads under load.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8041 -c 32 -d 10s
 //	loadgen -addr 127.0.0.1:8041 -c 8 -d 5s -stream 4 -post-update 500ms
+//	loadgen -addr 127.0.0.1:8045 -c 8 -d 5s -shards 2
 //
 // Exit status is 1 if any request failed at transport level or returned a
 // 4xx/5xx, or if the streaming round trip broke; 429s are counted (they
@@ -121,10 +128,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "query-mix seed")
 	stream := flag.Int("stream", 0, "plan-stream SSE subscriptions held open for the run")
 	postUpdate := flag.Duration("post-update", 0, "interval between live weather revisions POSTed to /v2/updates (0 disables)")
+	shards := flag.Int("shards", 0, "expected shard count of a federated front tier; polls /v2/plan through the run asserting every response carries a consistent N-component epoch vector (0 disables)")
 	flag.Parse()
 	cliutil.PositiveInt("c", *conc)
 	cliutil.PositiveDuration("d", *dur)
 	cliutil.NonNegativeInt("stream", *stream)
+	cliutil.NonNegativeInt("shards", *shards)
 
 	base := "http://" + *addr
 	client := &http.Client{
@@ -234,6 +243,80 @@ func main() {
 		close(updaterDone)
 	}
 
+	// The federation checker polls /v2/plan concurrently with the query
+	// storm: every response must carry the expected N-component epoch
+	// vector, the body vector must equal the header's (a mismatch would be
+	// a torn render), and sequential reads must never observe a component
+	// going backwards (worlds publish atomically, so a regression would be
+	// a torn federated read).
+	type vecResult struct {
+		checked, degraded, failures int
+	}
+	vecDone := make(chan vecResult, 1)
+	if *shards > 0 {
+		go func() {
+			var vr vecResult
+			var last []uint64
+			for time.Now().Before(deadline) {
+				resp, err := client.Get(base + "/v2/plan")
+				if err != nil {
+					vr.failures++
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					continue // shed load, not a consistency signal
+				}
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					log.Printf("loadgen: epoch-vector probe: status %d err %v", resp.StatusCode, rerr)
+					vr.failures++
+					continue
+				}
+				var env struct {
+					EpochVec []uint64 `json:"epoch_vector"`
+					Degraded bool     `json:"degraded"`
+				}
+				if err := json.Unmarshal(body, &env); err != nil {
+					log.Printf("loadgen: epoch-vector probe: bad body: %v", err)
+					vr.failures++
+					continue
+				}
+				vr.checked++
+				if env.Degraded {
+					vr.degraded++
+				}
+				if len(env.EpochVec) != *shards {
+					log.Printf("loadgen: epoch vector %v has %d components, want %d", env.EpochVec, len(env.EpochVec), *shards)
+					vr.failures++
+					continue
+				}
+				var hdrWant strings.Builder
+				for i, e := range env.EpochVec {
+					if i > 0 {
+						hdrWant.WriteByte(',')
+					}
+					fmt.Fprintf(&hdrWant, "%d", e)
+				}
+				if hdr := resp.Header.Get("X-World-Epoch-Vector"); hdr != hdrWant.String() {
+					log.Printf("loadgen: torn render: header vector %q != body vector %q", hdr, hdrWant.String())
+					vr.failures++
+					continue
+				}
+				if last != nil {
+					for i := range last {
+						if env.EpochVec[i] < last[i] {
+							log.Printf("loadgen: torn federated read: component %d went %d -> %d", i, last[i], env.EpochVec[i])
+							vr.failures++
+						}
+					}
+				}
+				last = env.EpochVec
+			}
+			vecDone <- vr
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < *conc; w++ {
 		wg.Add(1)
@@ -305,9 +388,20 @@ func main() {
 		fmt.Printf("  live: %d updates applied (%d shed), %d streams saw %d plans + %d deltas\n",
 			applied, updateRejected, *stream, streamPlans, streamDeltas)
 	}
-	if t.failures > 0 || streamFailures > 0 || updateFailed > 0 {
-		fmt.Printf("FAIL: %d failed requests, %d broken streams, %d failed updates\n",
-			t.failures, streamFailures, updateFailed)
+	vecFailures := 0
+	if *shards > 0 {
+		vr := <-vecDone
+		vecFailures = vr.failures
+		if vr.checked == 0 {
+			log.Print("loadgen: epoch-vector probe never completed a check")
+			vecFailures++
+		}
+		fmt.Printf("  federation: %d epoch-vector checks over %d shards (%d degraded responses)\n",
+			vr.checked, *shards, vr.degraded)
+	}
+	if t.failures > 0 || streamFailures > 0 || updateFailed > 0 || vecFailures > 0 {
+		fmt.Printf("FAIL: %d failed requests, %d broken streams, %d failed updates, %d federation violations\n",
+			t.failures, streamFailures, updateFailed, vecFailures)
 		os.Exit(1)
 	}
 }
