@@ -1,6 +1,6 @@
 # DGS reproduction — build/test/bench entry points.
 
-.PHONY: all build test ci bench race serve federate
+.PHONY: all build test ci bench race serve federate bench-epoch bench-optimize
 
 all: build
 
@@ -41,7 +41,8 @@ federate:
 # full run takes tens of minutes.
 bench:
 	( go test -run '^$$' -bench 'BenchmarkFig3aBacklog|BenchmarkFig2StationMap|BenchmarkMegaScale|BenchmarkMegaSim' -benchmem -timeout 60m . ; \
-	  go test -run '^$$' -bench 'BenchmarkEpochSwap' -benchmem -timeout 30m ./internal/core ) \
+	  go test -run '^$$' -bench 'BenchmarkEpochSwap' -benchmem -timeout 30m ./internal/core ; \
+	  go test -run '^$$' -bench 'BenchmarkOptimizeGreedy' -benchmem -timeout 30m ./internal/optimize ) \
 		| tee /dev/stderr \
 		| go run ./tools/benchjson -o BENCH_sim.json
 
@@ -49,5 +50,13 @@ bench:
 # in BENCH_sim.json, preserving every other recorded result (-merge).
 bench-epoch:
 	go test -run '^$$' -bench 'BenchmarkEpochSwap' -benchmem -timeout 30m ./internal/core \
+		| tee /dev/stderr \
+		| go run ./tools/benchjson -merge -o BENCH_sim.json
+
+# bench-optimize refreshes only the network-design search bench (one full
+# greedy K=2 run over a 4-candidate instance: optimizer speed IS sim
+# speed), preserving every other recorded result (-merge).
+bench-optimize:
+	go test -run '^$$' -bench 'BenchmarkOptimizeGreedy' -benchmem -timeout 30m ./internal/optimize \
 		| tee /dev/stderr \
 		| go run ./tools/benchjson -merge -o BENCH_sim.json

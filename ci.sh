@@ -38,9 +38,11 @@ echo "== go test -race (parallel pipeline + session + serving layers)"
 # multi-instant cache fill behind the parallel pass-prediction pipeline.
 # spatial and sgp4 sit under every propagation worker; serve now also
 # hosts the federation suite (shard sessions, merge rebuilds, and the
-# seeded chaos kill/rejoin convergence run).
+# seeded chaos kill/rejoin convergence run). optimize fans whole sim
+# runs over the pool with a shared memo cache — the newest racer.
 go test -race ./internal/passes ./internal/sim ./internal/core ./internal/pool ./internal/poscache ./internal/linkbudget \
-    ./internal/backend ./internal/proto ./internal/faultnet ./internal/serve ./internal/spatial ./internal/sgp4
+    ./internal/backend ./internal/proto ./internal/faultnet ./internal/serve ./internal/spatial ./internal/sgp4 \
+    ./internal/optimize
 
 echo "== serve smoke (dgs-api + loadgen, live-update round trip)"
 # Boot the API on an ephemeral port over a small world, drive it with the
@@ -142,6 +144,43 @@ go build -o "$smokedir/dgs-passes" ./cmd/dgs-passes
 "$smokedir/dgs-passes" -walker -sats 200 -stations 40 -hours 0.5 -top 1000000 -full-scan | tail -n +3 > "$smokedir/full.txt"
 [ -s "$smokedir/idx.txt" ] || { echo "mega smoke predicted no windows" >&2; exit 1; }
 cmp "$smokedir/idx.txt" "$smokedir/full.txt"
+
+echo "== optimizer smoke (greedy determinism + /v2/optimize round trip)"
+# (1) dgs-optimize on a tiny N=6/K=2 instance: the winning set — the
+# whole stdout report, in fact — must be byte-identical across
+# -workers 1, -workers 4, and a repeated run (worker count may only
+# change wall time, never the answer).
+go build -o "$smokedir/dgs-optimize" ./cmd/dgs-optimize
+opt_flags="-sats 8 -stations 6 -candidates 2,3,4,5 -k 2 -horizon 4h -warmup 1h -q"
+# shellcheck disable=SC2086
+"$smokedir/dgs-optimize" $opt_flags -workers 1 > "$smokedir/opt_w1.txt" 2>/dev/null
+# shellcheck disable=SC2086
+"$smokedir/dgs-optimize" $opt_flags -workers 4 > "$smokedir/opt_w4.txt" 2>/dev/null
+# shellcheck disable=SC2086
+"$smokedir/dgs-optimize" $opt_flags -workers 4 > "$smokedir/opt_w4b.txt" 2>/dev/null
+cmp "$smokedir/opt_w1.txt" "$smokedir/opt_w4.txt"
+cmp "$smokedir/opt_w4.txt" "$smokedir/opt_w4b.txt"
+grep -q '^selected      \[2 5\]$' "$smokedir/opt_w1.txt" \
+    || { echo "dgs-optimize picked an unexpected winning set:" >&2; cat "$smokedir/opt_w1.txt" >&2; exit 1; }
+# (2) the async jobs API: POST /v2/optimize, watch the SSE stream until
+# the job completes (status snapshot, live progress events, the stage
+# report, and the final done event), then GET the terminal status.
+"$smokedir/dgs-api" -listen 127.0.0.1:0 -sats 16 -stations 12 -max-span 6h > "$smokedir/opt_api.log" 2>&1 &
+opt_api_pid=$!
+opt_addr=$(wait_addr "$smokedir/opt_api.log" "serving on")
+job=$(curl -sf -X POST "http://$opt_addr/v2/optimize" \
+    -d '{"k":2,"candidates":[8,9,10],"horizon_hours":1.0,"warmup_hours":0.5}' \
+    | sed 's/.*"job":"\([^"]*\)".*/\1/')
+[ -n "$job" ] || { echo "POST /v2/optimize returned no job id" >&2; exit 1; }
+curl -sfN --max-time 120 "http://$opt_addr/v2/optimize/$job/stream" > "$smokedir/opt_stream.txt"
+for ev in progress report done; do
+    grep -q "^event: $ev" "$smokedir/opt_stream.txt" \
+        || { echo "SSE stream missing $ev event:" >&2; cat "$smokedir/opt_stream.txt" >&2; exit 1; }
+done
+curl -sf "http://$opt_addr/v2/optimize/$job" | grep -q '"status":"done"' \
+    || { echo "GET /v2/optimize/$job not done" >&2; exit 1; }
+kill -INT "$opt_api_pid"
+wait "$opt_api_pid" || { echo "dgs-api did not shut down cleanly:" >&2; cat "$smokedir/opt_api.log" >&2; exit 1; }
 
 echo "== bench trajectory (advisory, recorded BENCH_sim.json)"
 # Warns when the recorded current Fig3aBacklog/DGS wall-clock regressed

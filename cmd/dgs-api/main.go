@@ -41,7 +41,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8041", "listen address (use :0 for an ephemeral port)")
 	sats := flag.Int("sats", 259, "constellation size")
 	stations := flag.Int("stations", 173, "ground-station count")
-	seed := flag.Int64("seed", 1, "population seed")
+	seed := cliutil.SeedFlag("population")
 	txFraction := flag.Float64("tx-fraction", 0.1, "fraction of transmit-capable stations")
 	clearSky := flag.Bool("clear-sky", false, "disable weather attenuation")
 	forecastErr := flag.Float64("forecast-err", 0.3, "saturated forecast error fraction")
@@ -60,6 +60,7 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on a dedicated address (e.g. localhost:6060), independent of the API listener")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
+	cliutil.Seed("seed", *seed)
 
 	cliutil.PositiveInt("sats", *sats)
 	cliutil.PositiveInt("stations", *stations)

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dgs/internal/backend"
+	"dgs/internal/cliutil"
 	"dgs/internal/core"
 	"dgs/internal/dataset"
 	"dgs/internal/linkbudget"
@@ -31,12 +32,13 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7700", "listen address")
 	sats := flag.Int("sats", 20, "constellation size for the demo schedule")
 	stations := flag.Int("stations", 40, "station count for the demo schedule")
-	seed := flag.Int64("seed", 1, "population seed")
+	seed := cliutil.SeedFlag("population")
 	every := flag.Duration("plan-every", 30*time.Second, "schedule broadcast interval (wall clock)")
 	horizon := flag.Duration("horizon", 30*time.Minute, "plan horizon (simulated)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-frame read deadline (default 90s; heartbeats keep idle stations alive)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline (default 10s)")
 	flag.Parse()
+	cliutil.Seed("seed", *seed)
 
 	srv := backend.NewServer(nil)
 	srv.Logf = log.Printf

@@ -28,11 +28,12 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 3a, 3b, 3c, summary, all")
 	days := flag.Int("days", 2, "simulated days per system")
-	seed := flag.Int64("seed", 1, "population and weather seed")
+	seed := cliutil.SeedFlag("population and weather")
 	csvDir := flag.String("csv", "", "directory to write CDF CSVs into (optional)")
 	sats := flag.Int("sats", 259, "constellation size")
 	stations := flag.Int("stations", 173, "DGS network size")
 	flag.Parse()
+	cliutil.Seed("seed", *seed)
 	cliutil.PositiveInt("days", *days)
 	cliutil.PositiveInt("sats", *sats)
 	cliutil.PositiveInt("stations", *stations)

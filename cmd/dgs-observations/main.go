@@ -25,8 +25,9 @@ func main() {
 	sats := flag.Int("sats", 10, "satellites to observe")
 	stations := flag.Int("stations", 20, "stations observing")
 	hours := flag.Float64("hours", 24, "observation window, hours")
-	seed := flag.Int64("seed", 1, "population seed")
+	seed := cliutil.SeedFlag("population")
 	flag.Parse()
+	cliutil.Seed("seed", *seed)
 	cliutil.PositiveInt("sats", *sats)
 	cliutil.PositiveInt("stations", *stations)
 	cliutil.PositiveFloat("hours", *hours)

@@ -51,9 +51,10 @@ func main() {
 	walker := flag.Bool("walker", false, "population mode: Walker-delta shell (53°, 550 km) instead of the paper's EO mix")
 	fullScan := flag.Bool("full-scan", false, "population mode: disable the spatial candidate index (differential check)")
 	workers := flag.Int("workers", 0, "population mode: sweep/refinement worker pool size (0 = GOMAXPROCS; windows are identical for any value)")
-	seed := flag.Int64("seed", 1, "population mode: synthesis seed")
+	seed := cliutil.SeedFlag("population-mode synthesis")
 	top := flag.Int("top", 20, "population mode: windows to print (0 = summary only)")
 	flag.Parse()
+	cliutil.Seed("seed", *seed)
 	cliutil.Range("lat", *lat, -90, 90)
 	cliutil.Range("lon", *lon, -180, 180)
 	cliutil.PositiveFloat("hours", *hours)

@@ -36,7 +36,7 @@ func main() {
 	shards := flag.Int("shards", 1, "total shard count in the fleet")
 	sats := flag.Int("sats", 259, "constellation size (full fleet, pre-partition)")
 	stations := flag.Int("stations", 173, "ground-station count (shared by every shard)")
-	seed := flag.Int64("seed", 1, "population seed")
+	seed := cliutil.SeedFlag("population")
 	txFraction := flag.Float64("tx-fraction", 0.1, "fraction of transmit-capable stations")
 	clearSky := flag.Bool("clear-sky", false, "disable weather attenuation")
 	forecastErr := flag.Float64("forecast-err", 0.3, "saturated forecast error fraction")
@@ -46,6 +46,7 @@ func main() {
 	planHorizon := flag.Duration("plan-horizon", time.Hour, "live-plan horizon maintained across epoch swaps")
 	workers := flag.Int("workers", 0, "propagation/planning workers (0 = GOMAXPROCS)")
 	flag.Parse()
+	cliutil.Seed("seed", *seed)
 
 	cliutil.PositiveInt("shards", *shards)
 	cliutil.NonNegativeInt("shard", *shardIdx)

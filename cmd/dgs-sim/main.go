@@ -45,7 +45,7 @@ func main() {
 	sats := flag.Int("sats", 259, "constellation size")
 	walker := flag.Bool("walker", false, "use a Walker-delta shell of -sats satellites (53°, 550 km) instead of the paper's EO mix")
 	stations := flag.Int("stations", 173, "DGS network size")
-	seed := flag.Int64("seed", 1, "population and weather seed")
+	seed := cliutil.SeedFlag("population and weather")
 	value := flag.String("value", "latency", "value function: latency, throughput")
 	matcher := flag.String("matcher", "stable", "matching algorithm: stable, optimal, greedy")
 	forecastErr := flag.Float64("forecast-err", 0.3, "saturated forecast error fraction [0,1]")
@@ -61,6 +61,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the sim runs")
 	quiet := flag.Bool("q", false, "suppress per-day progress")
 	flag.Parse()
+	cliutil.Seed("seed", *seed)
 	cliutil.PositiveInt("days", *days)
 	cliutil.PositiveInt("sats", *sats)
 	cliutil.PositiveInt("stations", *stations)

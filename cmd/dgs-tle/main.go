@@ -23,9 +23,10 @@ import (
 func main() {
 	inspect := flag.String("inspect", "", "TLE file to parse and describe")
 	gen := flag.Int("gen", 0, "generate N synthetic Earth-observation TLEs")
-	seed := flag.Int64("seed", 1, "seed for -gen")
+	seed := cliutil.SeedFlag("-gen synthesis")
 	builtin := flag.Bool("builtin", false, "print the embedded fixture TLEs")
 	flag.Parse()
+	cliutil.Seed("seed", *seed)
 	cliutil.NonNegativeInt("gen", *gen)
 
 	switch {

@@ -88,6 +88,23 @@ func Range(name string, v, lo, hi float64) {
 	}
 }
 
+// SeedFlag registers the conventional "-seed" flag (default 1) with a
+// standard usage string naming what the seed drives, so every binary
+// spells the flag the same way. Validate after flag.Parse with Seed.
+func SeedFlag(drives string) *int64 {
+	return flag.Int64("seed", 1, drives+" seed (deterministic, >= 0)")
+}
+
+// Seed requires v >= 0 for flag name. Seeds feed unsigned derivations
+// (e.g. the weather field seeds with uint64(seed)+7), where a negative
+// value would silently wrap to an enormous unrelated seed instead of
+// meaning anything.
+func Seed(name string, v int64) {
+	if v < 0 {
+		Failf("invalid -%s: must be >= 0 (got %d)", name, v)
+	}
+}
+
 // HostPortList parses a comma-separated host:port list for flag name,
 // requiring every element to be a valid dialable address. Returns the
 // split list with surrounding whitespace trimmed.

@@ -1,6 +1,8 @@
 package cliutil
 
 import (
+	"flag"
+	"strings"
 	"testing"
 	"time"
 )
@@ -35,6 +37,8 @@ func TestValidatorsAccept(t *testing.T) {
 		NonNegativeFloat("gen-gb", 0)
 		Fraction("tx-fraction", 1)
 		Range("min-el", 45, 0, 90)
+		Seed("seed", 0)
+		Seed("seed", 1)
 	})
 	if exited {
 		t.Fatal("valid values must not exit")
@@ -56,6 +60,7 @@ func TestValidatorsReject(t *testing.T) {
 		{"Fraction/above", func() { Fraction("tx-fraction", 1.5) }},
 		{"Fraction/below", func() { Fraction("forecast-err", -0.1) }},
 		{"Range/outside", func() { Range("min-el", 91, 0, 90) }},
+		{"Seed/negative", func() { Seed("seed", -1) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -70,5 +75,22 @@ func TestValidatorsReject(t *testing.T) {
 				t.Fatal("must print usage before exiting")
 			}
 		})
+	}
+}
+
+func TestSeedFlag(t *testing.T) {
+	p := SeedFlag("population")
+	if *p != 1 {
+		t.Fatalf("SeedFlag default = %d, want 1", *p)
+	}
+	f := flag.Lookup("seed")
+	if f == nil {
+		t.Fatal("SeedFlag did not register -seed")
+	}
+	if f.DefValue != "1" {
+		t.Fatalf("-seed default = %q, want 1", f.DefValue)
+	}
+	if !strings.Contains(f.Usage, "population") {
+		t.Fatalf("-seed usage %q does not name what it drives", f.Usage)
 	}
 }

@@ -257,6 +257,120 @@ func TestMergeContentionRule(t *testing.T) {
 	}
 }
 
+// TestMergeGroupingInvariance pins that contention resolution is
+// associative: merging four shard plans flat, hierarchically (two halves
+// merged, then merged together), and sequentially (left fold) all
+// produce byte-identical plans. This is what lets a federated front tier
+// merge backend responses in whatever grouping its fan-out happens to
+// complete in. The property holds because keep-top-capacity under the
+// strict (Weight desc, Sat asc) order commutes with set union — and the
+// test demands real contention so it cannot pass vacuously.
+func TestMergeGroupingInvariance(t *testing.T) {
+	els := dataset.Satellites(dataset.SatelliteOptions{N: 259, Seed: 4, Epoch: epoch})
+	net := dataset.Stations(dataset.StationOptions{N: 173, Seed: 4})
+	snaps := snapsFrom(propsFrom(t, els))
+	caps := StationCaps(net)
+	parts := shard.New(4).Partitions(noradsOf(els))
+	const horizon = 30 * time.Minute
+	plans := make([]*Plan, len(parts))
+	for s, part := range parts {
+		plans[s] = shardedPlan(t, part, snaps, net, 0, epoch, horizon, time.Minute)
+	}
+
+	capOf := func(st int) int {
+		if caps[st] > 0 {
+			return caps[st]
+		}
+		return 1
+	}
+	contended := 0
+	for k := range plans[0].Slots {
+		load := make(map[int]int)
+		for _, p := range plans {
+			for _, a := range p.Slots[k].Assignments {
+				load[a.Station]++
+			}
+		}
+		for st, n := range load {
+			if n > capOf(st) {
+				contended++
+			}
+		}
+	}
+	if contended == 0 {
+		t.Fatal("instance has no contended station-slots; grouping invariance untested")
+	}
+	t.Logf("%d contended station-slots across 4 shards", contended)
+
+	flat, err := MergePlans(plans, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planJSON(t, flat)
+
+	left, err := MergePlans(plans[:2], caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := MergePlans(plans[2:], caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := MergePlans([]*Plan{left, right}, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(planJSON(t, hier), want) {
+		t.Fatal("hierarchical merge (pairs, then halves) differs from flat merge")
+	}
+
+	seq := plans[0]
+	for _, p := range plans[1:] {
+		if seq, err = MergePlans([]*Plan{seq, p}, caps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(planJSON(t, seq), want) {
+		t.Fatal("sequential left-fold merge differs from flat merge")
+	}
+}
+
+// TestMergeTieBreakExhaustive pins the equal-weight tie-break — lowest
+// satellite index wins — across every permutation of the part order, so
+// no merge-order coincidence can mask a nondeterministic comparator.
+func TestMergeTieBreakExhaustive(t *testing.T) {
+	mk := func(sat int) *Plan {
+		return NewPlan(1, epoch, time.Minute, []Slot{{Start: epoch, Assignments: []Assignment{
+			{Sat: sat, Station: 3, PlannedRateBps: 1e6, Weight: 2.5},
+		}}})
+	}
+	plans := []*Plan{mk(9), mk(2), mk(5)}
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, cap3 := range []int{1, 2} {
+		caps := make([]int, 4)
+		caps[3] = cap3
+		wantSats := []int{2}
+		if cap3 == 2 {
+			wantSats = []int{2, 5}
+		}
+		for _, perm := range perms {
+			ordered := []*Plan{plans[perm[0]], plans[perm[1]], plans[perm[2]]}
+			m, err := MergePlans(ordered, caps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := m.Slots[0].Assignments
+			sats := make([]int, len(got))
+			for i, a := range got {
+				sats[i] = a.Sat
+			}
+			if !slices.Equal(sats, wantSats) {
+				t.Fatalf("cap=%d perm=%v: kept satellites %v, want %v", cap3, perm, sats, wantSats)
+			}
+		}
+	}
+}
+
 func TestMergeRejectsMismatchedGrids(t *testing.T) {
 	mk := func(issued time.Time, slotDur time.Duration, n int) *Plan {
 		slots := make([]Slot, n)

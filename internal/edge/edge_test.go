@@ -115,6 +115,89 @@ func TestBacklogWhenUplinkSlow(t *testing.T) {
 	}
 }
 
+// TestDrainZeroBudget pins the zero-budget boundary: a drain that grants
+// the uplink no time delivers nothing and perturbs no state, a drain one
+// instant before an upload completes still excludes it, and the
+// completion instant itself is inclusive. Zero-bit products (a processor
+// that filters a chunk down to nothing still produces a notification)
+// cost no uplink time and deliver exactly at their ReadyAt.
+func TestDrainZeroBudget(t *testing.T) {
+	b := mustBackhaul(t, 1e6, Processor{Reduction: 1})
+	if got := b.Drain(t0); got != nil {
+		t.Fatalf("empty queue drained %v", got)
+	}
+
+	b.Enqueue(0, 1, 1e6, 0, t0) // 1 s of uplink, ready immediately
+	if got := b.Drain(t0); len(got) != 0 {
+		t.Fatalf("zero-budget drain delivered %d products", len(got))
+	}
+	if b.QueuedProducts() != 1 || b.QueuedBits() != 1e6 {
+		t.Fatalf("zero-budget drain perturbed the queue: %d products, %g bits",
+			b.QueuedProducts(), b.QueuedBits())
+	}
+	done := t0.Add(time.Second)
+	if got := b.Drain(done.Add(-time.Nanosecond)); len(got) != 0 {
+		t.Fatal("delivered one instant before the upload completes")
+	}
+	got := b.Drain(done)
+	if len(got) != 1 || !got[0].CloudAt.Equal(done) {
+		t.Fatalf("completion-instant drain = %v, want one delivery at %v", got, done)
+	}
+
+	// A zero-bit product occupies the link for zero time: it delivers at
+	// its ReadyAt even when the drain grants no time beyond that.
+	b.Enqueue(0, 2, 0, 0, done)
+	got = b.Drain(done)
+	if len(got) != 1 || !got[0].CloudAt.Equal(done) {
+		t.Fatalf("zero-bit product = %v, want instantaneous delivery at %v", got, done)
+	}
+	if b.QueuedBits() != 0 {
+		t.Fatalf("queued bits = %g after full drain", b.QueuedBits())
+	}
+}
+
+// TestSaturatedCompute pins the saturated-compute boundary: when the
+// processing stage is the bottleneck (latency beyond the drain horizon),
+// nothing escapes no matter how often the uplink is drained, the backlog
+// is fully conserved, and once the stage finally releases the burst the
+// uplink serializes it — highest priority first, completions spaced by
+// upload time from the common ReadyAt.
+func TestSaturatedCompute(t *testing.T) {
+	const lat = time.Hour
+	b := mustBackhaul(t, 1e6, Processor{Reduction: 0.5, Latency: lat})
+	const n = 8
+	for i := 0; i < n; i++ {
+		b.Enqueue(0, uint64(i), 2e6, float64(i%3), t0) // each 1e6 bits = 1 s uplink
+	}
+	for dt := time.Second; dt <= 10*time.Second; dt += time.Second {
+		if got := b.Drain(t0.Add(dt)); len(got) != 0 {
+			t.Fatalf("delivered %d products while compute-saturated", len(got))
+		}
+	}
+	if b.QueuedProducts() != n || b.QueuedBits() != n*1e6 {
+		t.Fatalf("saturated backlog = %d products, %g bits; want %d, %g",
+			b.QueuedProducts(), b.QueuedBits(), n, float64(n*1e6))
+	}
+
+	ready := t0.Add(lat)
+	got := b.Drain(ready.Add(n * time.Second))
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d after compute released", len(got), n)
+	}
+	for i, d := range got {
+		if want := ready.Add(time.Duration(i+1) * time.Second); !d.CloudAt.Equal(want) {
+			t.Fatalf("delivery %d at %v, want %v (serialized from ReadyAt)", i, d.CloudAt, want)
+		}
+		if i > 0 && d.Product.Priority > got[i-1].Product.Priority {
+			t.Fatalf("delivery %d (priority %g) outranks delivery %d (priority %g)",
+				i, d.Product.Priority, i-1, got[i-1].Product.Priority)
+		}
+	}
+	if b.QueuedProducts() != 0 || b.QueuedBits() != 0 {
+		t.Fatal("queue not empty after the saturated burst drained")
+	}
+}
+
 func TestConservationProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -1,0 +1,132 @@
+// Package optimize is the network-design search subsystem: it answers
+// "which K of N candidate ground-station sites maximize the objective for
+// a given constellation?" — the question the paper's distributed-network
+// argument raises but never answers, framed as submodular site selection
+// ("Scalable Ground Station Selection for Large LEO Constellations").
+//
+// Every candidate evaluation is a full deterministic simulation run: a
+// candidate set's score is the objective extracted from sim.Run over a
+// network in which exactly that set of candidate sites is active. Three
+// mechanisms keep the search affordable:
+//
+//   - Checkpoint branching: all evaluations of one instance share a
+//     common warm-start prefix. The simulation is run once with every
+//     candidate off up to the evaluation horizon start and checkpointed
+//     there (sim.Checkpoint); each candidate set then restores that
+//     checkpoint into its own station configuration (sim.Restore) and
+//     simulates only the remaining span. Scores are bit-identical to
+//     evaluating each set with its own freshly simulated prefix — the
+//     differential test pins it.
+//   - Memoization: scores are cached by canonical candidate-set key, so
+//     the greedy sweep never re-evaluates a set and annealing revisits
+//     are free.
+//   - Parallel fan-out: the lazy-greedy searcher refreshes a batch of
+//     stale marginal gains concurrently over internal/pool, and each
+//     evaluation's inner simulation fans its planning sweep out over the
+//     same pool (nested parallelism). Results are bit-identical for any
+//     worker count.
+//
+// Two search strategies implement the Searcher interface: Greedy (lazy
+// greedy-submodular selection with the classic CELF priority queue) and
+// Anneal (seeded simulated annealing, typically refining the greedy
+// incumbent). Both are deterministic: same instance, same knobs, same
+// result — regardless of worker count.
+package optimize
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"dgs/internal/sim"
+)
+
+// emptyScore is the finite sentinel an objective returns when the run
+// produced no samples to score (e.g. a latency percentile with zero
+// deliveries). It is pessimal but finite, so marginal-gain and annealing
+// arithmetic stay well-defined.
+const emptyScore = -1e18
+
+// Objective extracts the scalar a search maximizes from a completed run.
+// Implementations must be pure: the same Result always scores the same.
+type Objective interface {
+	// Name is the stable identifier used on the wire and in reports.
+	Name() string
+	// Score returns the value to maximize.
+	Score(r *sim.Result) float64
+}
+
+// DeliveredGB maximizes total delivered volume — the paper's headline
+// "how much data makes it down" metric (Fig. 3a's complement).
+type DeliveredGB struct{}
+
+// Name implements Objective.
+func (DeliveredGB) Name() string { return "delivered_gb" }
+
+// Score implements Objective.
+func (DeliveredGB) Score(r *sim.Result) float64 { return r.DeliveredGB }
+
+// P90Latency minimizes the 90th-percentile capture→delivery latency
+// (Fig. 3b's tail); its Score is the negated percentile so every search
+// maximizes.
+type P90Latency struct{}
+
+// Name implements Objective.
+func (P90Latency) Name() string { return "p90_latency" }
+
+// Score implements Objective.
+func (P90Latency) Score(r *sim.Result) float64 {
+	if r.LatencyMin.N() == 0 {
+		return emptyScore
+	}
+	p := r.LatencyMin.Percentile(90)
+	if math.IsNaN(p) {
+		return emptyScore
+	}
+	return -p
+}
+
+// ObjectiveByName resolves a wire/CLI objective name.
+func ObjectiveByName(name string) (Objective, error) {
+	switch name {
+	case "", "delivered_gb":
+		return DeliveredGB{}, nil
+	case "p90_latency":
+		return P90Latency{}, nil
+	default:
+		return nil, fmt.Errorf("optimize: unknown objective %q (want delivered_gb or p90_latency)", name)
+	}
+}
+
+// Progress is a search's in-flight status, delivered to the OnProgress
+// hook after every selection (greedy) or accepted move (annealing) —
+// the payload the /v2/optimize jobs API streams over SSE.
+type Progress struct {
+	// Strategy and Phase label the searcher emitting the update.
+	Strategy string `json:"strategy"`
+	Phase    string `json:"phase"`
+	// Done / Total track search progress (picks made, iterations run).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Incumbent is the current best candidate set (ascending station
+	// indices) and Score its objective value.
+	Incumbent []int   `json:"incumbent"`
+	Score     float64 `json:"score"`
+	// Evaluations counts simulations actually run so far; CacheHits
+	// counts memoized re-uses.
+	Evaluations int `json:"evaluations"`
+	CacheHits   int `json:"cache_hits"`
+	// Curve is the marginal-gain curve so far (greedy) or the accepted-
+	// move trace (annealing).
+	Curve []Pick `json:"curve,omitempty"`
+}
+
+// Searcher is one search strategy over an evaluator's candidate space.
+type Searcher interface {
+	// Name is the stable strategy identifier.
+	Name() string
+	// Search selects up to k candidate sites maximizing the evaluator's
+	// objective. Implementations must be deterministic for fixed knobs:
+	// worker counts must never change the result.
+	Search(ctx context.Context, ev *Evaluator, k int) (*Report, error)
+}

@@ -1,0 +1,51 @@
+package optimize
+
+// Pick is one step of a search: the candidate chosen, the objective
+// after choosing it, and the marginal gain over the previous incumbent.
+// The picks of a greedy run form the marginal-value curve — the
+// diminishing-returns evidence for "how many stations are enough".
+type Pick struct {
+	// Candidate is the chosen station index (into Instance.Sim.Stations).
+	Candidate int `json:"candidate"`
+	// Station is the station's human-readable name.
+	Station string `json:"station"`
+	// Score is the objective value of the incumbent after this pick.
+	Score float64 `json:"score"`
+	// Gain is Score minus the previous incumbent's score.
+	Gain float64 `json:"gain"`
+}
+
+// Report is a completed search's result. It contains no wall-clock
+// fields: for a fixed instance and knobs it is byte-identical across
+// runs and worker counts, which the CI smoke compares directly.
+type Report struct {
+	// Strategy and Objective identify what ran.
+	Strategy  string `json:"strategy"`
+	Objective string `json:"objective"`
+	// K is the requested set size; Candidates the pool size.
+	K          int `json:"k"`
+	Candidates int `json:"candidates"`
+	// Baseline is the objective with every candidate off.
+	Baseline float64 `json:"baseline"`
+	// Selected is the winning set (ascending station indices) and
+	// SelectedNames the matching station names.
+	Selected      []int    `json:"selected"`
+	SelectedNames []string `json:"selected_names"`
+	// Score is the winning set's objective value.
+	Score float64 `json:"score"`
+	// Curve is the pick-by-pick trajectory: the marginal-gain curve for
+	// greedy, the accepted-move trace for annealing.
+	Curve []Pick `json:"curve"`
+	// Evaluations counts simulations run; CacheHits memoized re-uses.
+	Evaluations int `json:"evaluations"`
+	CacheHits   int `json:"cache_hits"`
+}
+
+// stationNames resolves candidate indices to station names.
+func stationNames(ev *Evaluator, set []int) []string {
+	names := make([]string, len(set))
+	for i, c := range set {
+		names[i] = ev.inst.Sim.Stations[c].Name
+	}
+	return names
+}

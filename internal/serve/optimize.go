@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dgs/internal/optimize"
+)
+
+// The /v2/optimize jobs API runs the network-design optimizer
+// (internal/optimize) against the currently served world: "which K of
+// these candidate stations maximize the objective?" Optimization is
+// minutes of simulation, not a request-scoped computation, so the
+// surface is asynchronous: POST creates a job and returns its id, GET
+// reports status/progress/result, and GET .../stream delivers the same
+// progress as server-sent events on the plan-stream plumbing (subHub).
+// Jobs run one at a time in POST order — each one saturates the worker
+// pool by itself, and serial execution keeps job timing independent of
+// concurrent API load.
+
+// optimizeRequest is the POST /v2/optimize body.
+type optimizeRequest struct {
+	// K is the number of sites to select from Candidates.
+	K int `json:"k"`
+	// Candidates lists the station indices the search may activate;
+	// stations not listed stay always-on (the base network).
+	Candidates []int `json:"candidates"`
+	// Objective is "delivered_gb" (default) or "p90_latency".
+	Objective string `json:"objective,omitempty"`
+	// Strategy is "greedy" (default), "anneal", or "greedy+anneal"
+	// (anneal refines the greedy incumbent).
+	Strategy string `json:"strategy,omitempty"`
+	// HorizonHours is the evaluated span after the warm-start prefix
+	// (default 2). WarmupHours is the shared prefix simulated once with
+	// every candidate off (default 1; 0 disables prefix sharing).
+	HorizonHours *float64 `json:"horizon_hours,omitempty"`
+	WarmupHours  *float64 `json:"warmup_hours,omitempty"`
+	// AnnealIters and Seed tune the annealing stage (ignored for pure
+	// greedy). Defaults: optimize.DefaultAnnealIters, seed 1.
+	AnnealIters int   `json:"anneal_iters,omitempty"`
+	Seed        int64 `json:"seed,omitempty"`
+}
+
+// optimizeAccepted is the POST response.
+type optimizeAccepted struct {
+	Job    string `json:"job"`
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// optimizeStatus is the GET /v2/optimize/{id} response.
+type optimizeStatus struct {
+	Job    string `json:"job"`
+	Status string `json:"status"`
+	// Epoch is the world version the job was created against.
+	Epoch    uint64 `json:"epoch"`
+	Strategy string `json:"strategy"`
+	Error    string `json:"error,omitempty"`
+	// Progress is the latest in-flight update (present once the search
+	// produced one).
+	Progress *optimize.Progress `json:"progress,omitempty"`
+	// Reports collects each completed stage's report in order (greedy
+	// then anneal for "greedy+anneal"); Report is the final result, set
+	// when the job is done. The marginal-gain curve is Reports[0].Curve
+	// for greedy-first strategies.
+	Reports []*optimize.Report `json:"reports,omitempty"`
+	Report  *optimize.Report   `json:"report,omitempty"`
+}
+
+// Job states.
+const (
+	jobQueued  = "queued"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// optimizeJob is one async optimization run.
+type optimizeJob struct {
+	id       string
+	epoch    uint64
+	strategy string
+
+	mu       sync.Mutex
+	status   string
+	err      string
+	progress *optimize.Progress
+	reports  []*optimize.Report
+	report   *optimize.Report
+	seq      uint64 // SSE event id counter
+
+	hub *subHub
+}
+
+// snapshotStatus renders the job's current wire status under its lock.
+func (j *optimizeJob) snapshotStatus() optimizeStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return optimizeStatus{
+		Job:      j.id,
+		Status:   j.status,
+		Epoch:    j.epoch,
+		Strategy: j.strategy,
+		Error:    j.err,
+		Progress: j.progress,
+		Reports:  j.reports,
+		Report:   j.report,
+	}
+}
+
+// event broadcasts a job SSE event and returns its sequence id.
+func (j *optimizeJob) event(name string, payload any) {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return // payloads are marshal-safe; defensive only
+	}
+	j.mu.Lock()
+	j.seq++
+	seq := j.seq
+	j.mu.Unlock()
+	j.hub.broadcast(sseEvent(name, seq, b))
+}
+
+// jobManager owns the job table and the serial execution queue.
+type jobManager struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*optimizeJob
+	// run is the execution semaphore: one optimization at a time.
+	run chan struct{}
+}
+
+func newJobManager() *jobManager {
+	return &jobManager{
+		jobs: make(map[string]*optimizeJob),
+		run:  make(chan struct{}, 1),
+	}
+}
+
+func (m *jobManager) create(epoch uint64, strategy string) *optimizeJob {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	j := &optimizeJob{
+		id:       "opt-" + strconv.Itoa(m.seq),
+		epoch:    epoch,
+		strategy: strategy,
+		status:   jobQueued,
+		hub:      newSubHub(64),
+	}
+	m.jobs[j.id] = j
+	return j
+}
+
+func (m *jobManager) get(id string) *optimizeJob {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+func (m *jobManager) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// ---- handlers ----
+
+// handleOptimizeCreate is POST /v2/optimize: validate the request
+// against the current world, create the job, and return 202.
+func (s *Server) handleOptimizeCreate(w http.ResponseWriter, r *http.Request) {
+	st := &s.optimizeStats
+	t0 := time.Now()
+	defer func() { st.observe(time.Since(t0)) }()
+	st.misses.Add(1)
+
+	world, ok := s.acquireWorld(w)
+	if !ok {
+		return
+	}
+	defer world.Release()
+	snap, ok := world.Snap.(*Snapshot)
+	if !ok {
+		// A federated front tier has no single-process population to
+		// branch simulations from; run the optimizer against a shard
+		// backend (or a monolith) instead.
+		writeError(w, http.StatusBadRequest, errInvalidArgument,
+			"optimize requires a single-process world, not a federated front tier")
+		return
+	}
+
+	var req optimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidArgument, fmt.Sprintf("bad optimize body: %v", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errInvalidArgument, "trailing data after optimize object")
+		return
+	}
+
+	ev, searchers, herr := s.buildOptimize(snap, &req)
+	if herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+
+	j := s.jobs.create(world.Epoch, req.Strategy)
+	go s.runOptimizeJob(j, ev, searchers, req.K)
+
+	w.Header().Set("Location", "/v2/optimize/"+j.id)
+	w.Header().Set("X-World-Epoch", strconv.FormatUint(world.Epoch, 10))
+	b, err := marshalBody(optimizeAccepted{Job: j.id, Status: jobQueued, Epoch: world.Epoch})
+	if err != nil {
+		st.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, errInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusAccepted)
+	w.Write(b)
+}
+
+// buildOptimize validates a request against a snapshot and assembles the
+// evaluator and searcher chain.
+func (s *Server) buildOptimize(snap *Snapshot, req *optimizeRequest) (*optimize.Evaluator, []optimize.Searcher, *httpError) {
+	if req.K < 1 {
+		return nil, nil, badRequest("k must be >= 1, got %d", req.K)
+	}
+	if len(req.Candidates) == 0 {
+		return nil, nil, badRequest("candidates must list at least one station index")
+	}
+	obj, err := optimize.ObjectiveByName(req.Objective)
+	if err != nil {
+		return nil, nil, badRequest("%v", err)
+	}
+	horizon := 2 * time.Hour
+	if req.HorizonHours != nil {
+		if *req.HorizonHours <= 0 || *req.HorizonHours > 48 {
+			return nil, nil, badRequest("horizon_hours %g out of range (0, 48]", *req.HorizonHours)
+		}
+		horizon = time.Duration(*req.HorizonHours * float64(time.Hour))
+	}
+	warmup := time.Hour
+	if req.WarmupHours != nil {
+		if *req.WarmupHours < 0 || *req.WarmupHours > 48 {
+			return nil, nil, badRequest("warmup_hours %g out of range [0, 48]", *req.WarmupHours)
+		}
+		warmup = time.Duration(*req.WarmupHours * float64(time.Hour))
+	}
+	if req.AnnealIters < 0 {
+		return nil, nil, badRequest("anneal_iters must be >= 0")
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	ev, err := optimize.NewEvaluator(optimize.Instance{
+		Sim:        snap.simConfig(warmup + horizon),
+		Candidates: req.Candidates,
+		Warmup:     warmup,
+		Objective:  obj,
+	})
+	if err != nil {
+		return nil, nil, badRequest("%v", err)
+	}
+
+	var searchers []optimize.Searcher
+	switch req.Strategy {
+	case "", "greedy":
+		req.Strategy = "greedy"
+		searchers = []optimize.Searcher{&optimize.Greedy{Workers: snap.cfg.Workers}}
+	case "anneal":
+		searchers = []optimize.Searcher{&optimize.Anneal{Seed: seed, Iters: req.AnnealIters}}
+	case "greedy+anneal":
+		searchers = []optimize.Searcher{
+			&optimize.Greedy{Workers: snap.cfg.Workers},
+			&optimize.Anneal{Seed: seed, Iters: req.AnnealIters},
+		}
+	default:
+		return nil, nil, badRequest("unknown strategy %q (want greedy, anneal, or greedy+anneal)", req.Strategy)
+	}
+	return ev, searchers, nil
+}
+
+// runOptimizeJob executes a job's searcher chain: wait for the serial
+// execution slot, run each stage (later stages seeded with the previous
+// incumbent), publish progress to pollers and the SSE hub, and close the
+// hub when the job reaches a terminal state.
+func (s *Server) runOptimizeJob(j *optimizeJob, ev *optimize.Evaluator, searchers []optimize.Searcher, k int) {
+	s.jobs.run <- struct{}{}
+	defer func() { <-s.jobs.run }()
+	defer j.hub.closeAll()
+
+	j.mu.Lock()
+	j.status = jobRunning
+	j.mu.Unlock()
+
+	onProgress := func(p optimize.Progress) {
+		j.mu.Lock()
+		cp := p
+		j.progress = &cp
+		j.mu.Unlock()
+		j.event("progress", p)
+	}
+	fail := func(err error) {
+		s.optimizeStats.errors.Add(1)
+		j.mu.Lock()
+		j.status = jobFailed
+		j.err = err.Error()
+		j.mu.Unlock()
+		j.event("error", map[string]string{"error": err.Error()})
+	}
+
+	var final *optimize.Report
+	for _, sr := range searchers {
+		switch sr := sr.(type) {
+		case *optimize.Greedy:
+			sr.OnProgress = onProgress
+		case *optimize.Anneal:
+			sr.OnProgress = onProgress
+			if final != nil {
+				sr.Init = final.Selected
+			}
+		}
+		rep, err := sr.Search(context.Background(), ev, k)
+		if err != nil {
+			fail(err)
+			return
+		}
+		final = rep
+		j.mu.Lock()
+		j.reports = append(j.reports, rep)
+		j.mu.Unlock()
+		j.event("report", rep)
+	}
+	j.mu.Lock()
+	j.status = jobDone
+	j.report = final
+	j.mu.Unlock()
+	j.event("done", final)
+}
+
+// handleOptimizeGet is GET /v2/optimize/{id}: the job's current status.
+func (s *Server) handleOptimizeGet(w http.ResponseWriter, r *http.Request) {
+	st := &s.optimizeStats
+	t0 := time.Now()
+	defer func() { st.observe(time.Since(t0)) }()
+	st.hits.Add(1)
+
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errNotFound, "no such optimize job")
+		return
+	}
+	b, err := marshalBody(j.snapshotStatus())
+	if err != nil {
+		st.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, errInternal, err.Error())
+		return
+	}
+	writeBody(w, b)
+}
+
+// handleOptimizeStream is GET /v2/optimize/{id}/stream: the job's
+// progress as SSE. On connect it sends one `status` event with the
+// current state; a running job then streams `progress`, per-stage
+// `report`, and a final `done` (or `error`) event before the stream
+// closes. A terminal job closes right after the status event.
+func (s *Server) handleOptimizeStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errInternal, "streaming unsupported by this connection")
+		return
+	}
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errNotFound, "no such optimize job")
+		return
+	}
+
+	// Subscribe before snapshotting so no event between snapshot and
+	// subscription is lost (duplicates are possible; drops are not).
+	id, ch, subscribed := j.hub.add()
+	if subscribed {
+		defer j.hub.remove(id)
+	}
+	status := j.snapshotStatus()
+	initial, err := json.Marshal(status)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, errInternal, err.Error())
+		return
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(sseEvent("status", 0, initial)); err != nil {
+		return
+	}
+	fl.Flush()
+	if !subscribed {
+		return // job already terminal; the status event is the whole stream
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // job finished (hub closed) or we fell behind
+			}
+			if _, err := w.Write(ev); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -53,10 +53,14 @@ type Server struct {
 	adm   *admission
 	start time.Time
 
-	passesStats  endpointStats
-	planStats    endpointStats
-	linkStats    endpointStats
-	updatesStats endpointStats
+	passesStats   endpointStats
+	planStats     endpointStats
+	linkStats     endpointStats
+	updatesStats  endpointStats
+	optimizeStats endpointStats
+
+	// jobs owns the async /v2/optimize job table and execution queue.
+	jobs *jobManager
 
 	vars *expvar.Map
 
@@ -89,12 +93,15 @@ func NewWithSource(src WorldSource, cfg Config) *Server {
 		cache: newLRU(cfg.CacheEntries),
 		adm:   newAdmission(cfg.MaxInFlight),
 		start: time.Now(),
+		jobs:  newJobManager(),
 	}
 	s.vars = new(expvar.Map).Init()
 	s.vars.Set("passes", s.passesStats.vars())
 	s.vars.Set("plan", s.planStats.vars())
 	s.vars.Set("linkbudget", s.linkStats.vars())
 	s.vars.Set("updates", s.updatesStats.vars())
+	s.vars.Set("optimize", s.optimizeStats.vars())
+	s.vars.Set("optimize_jobs", expvar.Func(func() any { return s.jobs.count() }))
 	s.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.len() }))
 	s.vars.Set("inflight", expvar.Func(func() any { return s.adm.inUse() }))
 	s.vars.Set("inflight_limit", expvar.Func(func() any { return s.adm.limit() }))
@@ -128,6 +135,8 @@ func (s *Server) Stats(endpoint string) EndpointStats {
 		return s.linkStats.snapshot()
 	case "updates":
 		return s.updatesStats.snapshot()
+	case "optimize":
+		return s.optimizeStats.snapshot()
 	}
 	return EndpointStats{}
 }
@@ -150,6 +159,9 @@ func (s *Server) Handler() http.Handler {
 		{http.MethodGet, "/v2/plan", s.handlePlanV2},
 		{http.MethodGet, "/v2/plan/stream", s.handlePlanStream},
 		{http.MethodPost, "/v2/updates", s.handleUpdates},
+		{http.MethodPost, "/v2/optimize", s.handleOptimizeCreate},
+		{http.MethodGet, "/v2/optimize/{id}", s.handleOptimizeGet},
+		{http.MethodGet, "/v2/optimize/{id}/stream", s.handleOptimizeStream},
 		{http.MethodGet, "/v2/readyz", s.handleReadyz},
 		{http.MethodGet, "/debug/vars", s.handleVars},
 	}
@@ -175,6 +187,7 @@ const (
 	errMethodNotAllowed = "method_not_allowed"
 	errOverloaded       = "overloaded"
 	errNotReady         = "not_ready"
+	errNotFound         = "not_found"
 	errInternal         = "internal"
 )
 

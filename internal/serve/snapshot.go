@@ -15,6 +15,7 @@ import (
 	"dgs/internal/poscache"
 	"dgs/internal/sgp4"
 	"dgs/internal/shard"
+	"dgs/internal/sim"
 	"dgs/internal/station"
 	"dgs/internal/tle"
 	"dgs/internal/weather"
@@ -205,6 +206,26 @@ func newSnapshotLoaded(cfg SnapshotConfig, tles []tle.TLE, net station.Network) 
 		}
 	}
 	return s, nil
+}
+
+// simConfig builds the simulation configuration whose world matches
+// this snapshot: same population and network, and the same seed
+// derivation the simulator uses (weather seed = Seed+7), so an
+// optimization run scores exactly the constellation being served.
+func (s *Snapshot) simConfig(duration time.Duration) sim.Config {
+	return sim.Config{
+		Start:         s.cfg.Epoch,
+		Duration:      duration,
+		Step:          s.cfg.Slot,
+		Stations:      s.net,
+		TLEs:          s.tles,
+		WeatherSeed:   uint64(s.cfg.Seed) + 7,
+		ClearSky:      s.cfg.ClearSky,
+		ForecastErr:   s.cfg.ForecastErr,
+		GenBitsPerDay: s.cfg.GenGBPerDay * gbBits,
+		Hybrid:        true,
+		Workers:       s.cfg.Workers,
+	}
 }
 
 // rederive builds the read view of a revised world: the same config and

@@ -125,11 +125,12 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8041", "dgs-api address")
 	conc := flag.Int("c", 16, "concurrent closed-loop clients")
 	dur := flag.Duration("d", 5*time.Second, "run duration")
-	seed := flag.Int64("seed", 1, "query-mix seed")
+	seed := cliutil.SeedFlag("query-mix")
 	stream := flag.Int("stream", 0, "plan-stream SSE subscriptions held open for the run")
 	postUpdate := flag.Duration("post-update", 0, "interval between live weather revisions POSTed to /v2/updates (0 disables)")
 	shards := flag.Int("shards", 0, "expected shard count of a federated front tier; polls /v2/plan through the run asserting every response carries a consistent N-component epoch vector (0 disables)")
 	flag.Parse()
+	cliutil.Seed("seed", *seed)
 	cliutil.PositiveInt("c", *conc)
 	cliutil.PositiveDuration("d", *dur)
 	cliutil.NonNegativeInt("stream", *stream)
